@@ -1,0 +1,100 @@
+"""Ablation — the bloom filter inside FilterRefineSky (DESIGN.md §5).
+
+Not a paper figure; this sweeps the design choices the paper fixes:
+
+* ``bits_per_element`` — filter width per neighbor (the paper derives a
+  single width from dmax).  Narrow filters trade memory for false
+  positives, every one of which costs an extra exact ``NBRcheck``.
+* ``exact=False`` — the "approximate skyline" variant (paper Sec. III
+  remark): skip NBRcheck and accept one-sided error.
+
+The report shows runtime, false-positive counts and (for the
+approximate variant) how many true skyline vertices were lost.
+"""
+
+import time
+
+import pytest
+
+from _datasets import dataset
+from repro.core import SkylineCounters, filter_refine_sky
+
+DATASET = "livejournal_sim"
+BITS_PER_ELEMENT = (1, 2, 4, 8, 16)
+
+
+@pytest.mark.parametrize("bpe", BITS_PER_ELEMENT)
+def test_ablation_bloom_width(benchmark, figure_report, bpe):
+    graph = dataset(DATASET)
+    counters = SkylineCounters()
+
+    def run():
+        counters.reset()
+        return filter_refine_sky(
+            graph, bits_per_element=bpe, counters=counters
+        )
+
+    start = time.perf_counter()
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+
+    report = figure_report(
+        "Ablation bloom",
+        f"Bloom sizing and approximation inside FilterRefineSky "
+        f"({DATASET})",
+        (
+            "variant",
+            "time (s)",
+            "|R|",
+            "bloom rejects",
+            "false positives",
+            "nbr checks",
+        ),
+    )
+    report.add_row(
+        f"exact bpe={bpe}",
+        elapsed,
+        result.size,
+        counters.bloom_subset_rejects + counters.bloom_member_rejects,
+        counters.bloom_false_positives,
+        counters.nbr_checks,
+    )
+
+
+@pytest.mark.parametrize("bpe", (1, 8))
+def test_ablation_approximate_mode(benchmark, figure_report, bpe):
+    graph = dataset(DATASET)
+    exact_size = filter_refine_sky(graph).size
+    counters = SkylineCounters()
+
+    def run():
+        counters.reset()
+        return filter_refine_sky(
+            graph, bits_per_element=bpe, exact=False, counters=counters
+        )
+
+    start = time.perf_counter()
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+
+    report = figure_report(
+        "Ablation bloom",
+        f"Bloom sizing and approximation inside FilterRefineSky "
+        f"({DATASET})",
+        (
+            "variant",
+            "time (s)",
+            "|R|",
+            "bloom rejects",
+            "false positives",
+            "nbr checks",
+        ),
+    )
+    report.add_row(
+        f"approx bpe={bpe} (lost {exact_size - result.size})",
+        elapsed,
+        result.size,
+        counters.bloom_subset_rejects + counters.bloom_member_rejects,
+        counters.bloom_false_positives,
+        counters.nbr_checks,
+    )

@@ -1,0 +1,60 @@
+"""Fig. 10 (Exp-7) — scalability of BaseSky vs FilterRefineSky.
+
+LiveJournal stand-in subsampled along two axes: vertex fraction ``n``
+and edge fraction ``ρ``, at 20–100 %.  Expected shape: FilterRefineSky
+grows smoothly and stays fastest; BaseSky grows more sharply.
+"""
+
+import time
+
+import pytest
+
+from _datasets import SCALING_FRACTIONS, scalability_instance
+from repro.core import base_sky, filter_refine_sky
+
+_RESULTS: dict[tuple[str, float], dict[str, float]] = {}
+
+
+def _record(figure_report, axis, fraction, label, elapsed):
+    key = (axis, fraction)
+    _RESULTS.setdefault(key, {})[label] = elapsed
+    row = _RESULTS[key]
+    if "BaseSky" in row and "FilterRefineSky" in row:
+        report = figure_report(
+            "Figure 10",
+            "Scalability of skyline computation on livejournal_sim",
+            ("axis", "fraction", "BaseSky (s)", "FilterRefineSky (s)", "ratio"),
+        )
+        report.add_row(
+            axis,
+            fraction,
+            row["BaseSky"],
+            row["FilterRefineSky"],
+            row["BaseSky"] / row["FilterRefineSky"],
+        )
+
+
+@pytest.mark.parametrize("axis", ("n", "rho"))
+@pytest.mark.parametrize("fraction", SCALING_FRACTIONS)
+def test_fig10_base_sky(benchmark, figure_report, axis, fraction):
+    graph = scalability_instance(axis, fraction)
+    start = time.perf_counter()
+    benchmark.pedantic(base_sky, args=(graph,), rounds=1, iterations=1)
+    _record(figure_report, axis, fraction, "BaseSky", time.perf_counter() - start)
+
+
+@pytest.mark.parametrize("axis", ("n", "rho"))
+@pytest.mark.parametrize("fraction", SCALING_FRACTIONS)
+def test_fig10_filter_refine(benchmark, figure_report, axis, fraction):
+    graph = scalability_instance(axis, fraction)
+    start = time.perf_counter()
+    benchmark.pedantic(
+        filter_refine_sky, args=(graph,), rounds=1, iterations=1
+    )
+    _record(
+        figure_report,
+        axis,
+        fraction,
+        "FilterRefineSky",
+        time.perf_counter() - start,
+    )

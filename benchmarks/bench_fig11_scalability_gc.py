@@ -1,0 +1,65 @@
+"""Fig. 11 (Exp-7) — scalability of Greedy++ (BaseGC) vs NeiSkyGC.
+
+LiveJournal centrality instance subsampled along ``n`` and ``ρ``; fixed
+``k``.  Expected shape: NeiSkyGC faster at every point, growing more
+smoothly.
+"""
+
+import time
+
+import pytest
+
+from _datasets import (
+    GROUP_K_DEFAULT,
+    SCALING_FRACTIONS,
+    scalability_centrality_instance,
+)
+from repro.centrality import base_gc, neisky_gc
+from repro.core import filter_refine_sky
+
+_RESULTS: dict[tuple[str, float], dict[str, float]] = {}
+
+
+def _record(figure_report, axis, fraction, label, elapsed):
+    key = (axis, fraction)
+    _RESULTS.setdefault(key, {})[label] = elapsed
+    row = _RESULTS[key]
+    if "Greedy++" in row and "NeiSkyGC" in row:
+        report = figure_report(
+            "Figure 11",
+            f"Scalability of group closeness (k={GROUP_K_DEFAULT}) "
+            "on livejournal_sim",
+            ("axis", "fraction", "Greedy++ (s)", "NeiSkyGC (s)", "speedup"),
+        )
+        report.add_row(
+            axis,
+            fraction,
+            row["Greedy++"],
+            row["NeiSkyGC"],
+            row["Greedy++"] / row["NeiSkyGC"],
+        )
+
+
+@pytest.mark.parametrize("axis", ("n", "rho"))
+@pytest.mark.parametrize("fraction", SCALING_FRACTIONS)
+def test_fig11_base_gc(benchmark, figure_report, axis, fraction):
+    graph = scalability_centrality_instance(axis, fraction)
+    start = time.perf_counter()
+    benchmark.pedantic(
+        base_gc, args=(graph, GROUP_K_DEFAULT), rounds=1, iterations=1
+    )
+    _record(figure_report, axis, fraction, "Greedy++", time.perf_counter() - start)
+
+
+@pytest.mark.parametrize("axis", ("n", "rho"))
+@pytest.mark.parametrize("fraction", SCALING_FRACTIONS)
+def test_fig11_neisky_gc(benchmark, figure_report, axis, fraction):
+    graph = scalability_centrality_instance(axis, fraction)
+
+    def run():
+        skyline = filter_refine_sky(graph).skyline
+        return neisky_gc(graph, GROUP_K_DEFAULT, skyline=skyline)
+
+    start = time.perf_counter()
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    _record(figure_report, axis, fraction, "NeiSkyGC", time.perf_counter() - start)

@@ -1,0 +1,63 @@
+"""Fig. 12 (Exp-7) — scalability of Greedy-H (BaseGH) vs NeiSkyGH.
+
+Same protocol as Fig. 11 with the harmonic objective.
+"""
+
+import time
+
+import pytest
+
+from _datasets import (
+    GROUP_K_DEFAULT,
+    SCALING_FRACTIONS,
+    scalability_centrality_instance,
+)
+from repro.centrality import base_gh, neisky_gh
+from repro.core import filter_refine_sky
+
+_RESULTS: dict[tuple[str, float], dict[str, float]] = {}
+
+
+def _record(figure_report, axis, fraction, label, elapsed):
+    key = (axis, fraction)
+    _RESULTS.setdefault(key, {})[label] = elapsed
+    row = _RESULTS[key]
+    if "Greedy-H" in row and "NeiSkyGH" in row:
+        report = figure_report(
+            "Figure 12",
+            f"Scalability of group harmonic (k={GROUP_K_DEFAULT}) "
+            "on livejournal_sim",
+            ("axis", "fraction", "Greedy-H (s)", "NeiSkyGH (s)", "speedup"),
+        )
+        report.add_row(
+            axis,
+            fraction,
+            row["Greedy-H"],
+            row["NeiSkyGH"],
+            row["Greedy-H"] / row["NeiSkyGH"],
+        )
+
+
+@pytest.mark.parametrize("axis", ("n", "rho"))
+@pytest.mark.parametrize("fraction", SCALING_FRACTIONS)
+def test_fig12_base_gh(benchmark, figure_report, axis, fraction):
+    graph = scalability_centrality_instance(axis, fraction)
+    start = time.perf_counter()
+    benchmark.pedantic(
+        base_gh, args=(graph, GROUP_K_DEFAULT), rounds=1, iterations=1
+    )
+    _record(figure_report, axis, fraction, "Greedy-H", time.perf_counter() - start)
+
+
+@pytest.mark.parametrize("axis", ("n", "rho"))
+@pytest.mark.parametrize("fraction", SCALING_FRACTIONS)
+def test_fig12_neisky_gh(benchmark, figure_report, axis, fraction):
+    graph = scalability_centrality_instance(axis, fraction)
+
+    def run():
+        skyline = filter_refine_sky(graph).skyline
+        return neisky_gh(graph, GROUP_K_DEFAULT, skyline=skyline)
+
+    start = time.perf_counter()
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    _record(figure_report, axis, fraction, "NeiSkyGH", time.perf_counter() - start)

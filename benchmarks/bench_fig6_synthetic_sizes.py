@@ -1,0 +1,76 @@
+"""Fig. 6 (Exp-3) — R/C/V sizes on synthetic ER and power-law graphs.
+
+Two sweeps on 10,000-vertex graphs (the paper uses 100,000):
+
+* **ER** (Fig. 6a): ``p = Δp · log(n)/n`` for Δp ∈ {0.2 .. 1.0}.
+  Expected: |R| ≈ |C| ≈ |V| — independent-edge graphs have almost no
+  neighborhood inclusion, so the skyline technique buys nothing.
+* **PL** (Fig. 6b): copying-model power-law graphs with degree exponent
+  β ∈ {2.6 .. 3.4}.  Expected: |R| and |C| substantially below |V|.
+"""
+
+import math
+
+import pytest
+
+from repro.core import filter_refine_sky
+from repro.graph.generators import copying_power_law, erdos_renyi
+
+N = 10_000
+DELTA_PS = (0.2, 0.4, 0.6, 0.8, 1.0)
+BETAS = (2.6, 2.8, 3.0, 3.2, 3.4)
+
+
+@pytest.mark.parametrize("delta_p", DELTA_PS)
+def test_fig6a_erdos_renyi(benchmark, figure_report, delta_p):
+    p = delta_p * math.log(N) / N
+    graph = erdos_renyi(N, p, seed=61)
+
+    result = benchmark.pedantic(
+        filter_refine_sky, args=(graph,), rounds=1, iterations=1
+    )
+    report = figure_report(
+        "Figure 6a",
+        "ER graphs, n=10^4: sizes of R and C vs V (vary Δp)",
+        ("Δp", "|R|", "|C|", "|V|", "R/V"),
+    )
+    report.add_row(
+        delta_p,
+        result.size,
+        result.candidate_size,
+        N,
+        result.size / N,
+    )
+    if delta_p == DELTA_PS[-1]:
+        report.add_note(
+            "expected shape: R and C close to V — ER graphs have almost "
+            "no neighborhood inclusion (paper Fig. 6a)."
+        )
+
+
+@pytest.mark.parametrize("beta", BETAS)
+def test_fig6b_power_law(benchmark, figure_report, beta):
+    graph = copying_power_law(
+        N, beta, 0.9, proto_link_prob=0.3, seed=62
+    )
+
+    result = benchmark.pedantic(
+        filter_refine_sky, args=(graph,), rounds=1, iterations=1
+    )
+    report = figure_report(
+        "Figure 6b",
+        "Power-law graphs, n=10^4: sizes of R and C vs V (vary β)",
+        ("β", "|R|", "|C|", "|V|", "R/V"),
+    )
+    report.add_row(
+        beta,
+        result.size,
+        result.candidate_size,
+        N,
+        result.size / N,
+    )
+    if beta == BETAS[-1]:
+        report.add_note(
+            "expected shape: R and C substantially below V for every β "
+            "(paper Fig. 6b)."
+        )

@@ -1,0 +1,88 @@
+"""Fig. 7 (Exp-4) — Greedy++-style BaseGC vs NeiSkyGC, varying k.
+
+One sub-table per dataset (the paper's Fig. 7a–e).  NeiSkyGC times
+include computing the skyline.  Expected shape: both runtimes grow with
+k; NeiSkyGC consistently faster (paper: 1.35–2.5×), because it evaluates
+``k(2r − k + 1)/2`` marginal gains instead of ``k(2n − k + 1)/2``.
+
+Instances and the k-ladder are scaled as described in
+``benchmarks/_datasets.py``.
+"""
+
+import time
+
+import pytest
+
+from _datasets import GROUP_K_VALUES, centrality_instance
+from repro.centrality import base_gc, neisky_gc
+from repro.core import filter_refine_sky
+from repro.workloads import TABLE1_NAMES
+
+_RESULTS: dict[tuple[str, int], dict[str, float]] = {}
+
+
+def _record(figure_report, name, k, label, elapsed, evaluations):
+    key = (name, k)
+    _RESULTS.setdefault(key, {})[label] = elapsed
+    _RESULTS[key][label + "_evals"] = evaluations
+    row = _RESULTS[key]
+    if "Greedy++" in row and "NeiSkyGC" in row:
+        report = figure_report(
+            "Figure 7",
+            "Group closeness maximization: Greedy++ (BaseGC) vs NeiSkyGC",
+            (
+                "dataset",
+                "k",
+                "Greedy++ (s)",
+                "NeiSkyGC (s)",
+                "speedup",
+                "base evals",
+                "sky evals",
+            ),
+        )
+        report.add_row(
+            name,
+            k,
+            row["Greedy++"],
+            row["NeiSkyGC"],
+            row["Greedy++"] / row["NeiSkyGC"],
+            int(row["Greedy++_evals"]),
+            int(row["NeiSkyGC_evals"]),
+        )
+
+
+@pytest.mark.parametrize("name", TABLE1_NAMES)
+@pytest.mark.parametrize("k", GROUP_K_VALUES)
+def test_fig7_base_gc(benchmark, figure_report, name, k):
+    graph = centrality_instance(name)
+    start = time.perf_counter()
+    result = benchmark.pedantic(base_gc, args=(graph, k), rounds=1, iterations=1)
+    _record(
+        figure_report,
+        name,
+        k,
+        "Greedy++",
+        time.perf_counter() - start,
+        result.evaluations,
+    )
+
+
+@pytest.mark.parametrize("name", TABLE1_NAMES)
+@pytest.mark.parametrize("k", GROUP_K_VALUES)
+def test_fig7_neisky_gc(benchmark, figure_report, name, k):
+    graph = centrality_instance(name)
+
+    def run():
+        skyline = filter_refine_sky(graph).skyline
+        return neisky_gc(graph, k, skyline=skyline)
+
+    start = time.perf_counter()
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _record(
+        figure_report,
+        name,
+        k,
+        "NeiSkyGC",
+        time.perf_counter() - start,
+        result.evaluations,
+    )

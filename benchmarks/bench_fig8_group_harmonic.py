@@ -1,0 +1,57 @@
+"""Fig. 8 (Exp-5) — Greedy-H (BaseGH) vs NeiSkyGH, varying k.
+
+Same structure as Fig. 7; expected speedup in the paper is 1.4–1.85×.
+"""
+
+import time
+
+import pytest
+
+from _datasets import GROUP_K_VALUES, centrality_instance
+from repro.centrality import base_gh, neisky_gh
+from repro.core import filter_refine_sky
+from repro.workloads import TABLE1_NAMES
+
+_RESULTS: dict[tuple[str, int], dict[str, float]] = {}
+
+
+def _record(figure_report, name, k, label, elapsed):
+    key = (name, k)
+    _RESULTS.setdefault(key, {})[label] = elapsed
+    row = _RESULTS[key]
+    if "Greedy-H" in row and "NeiSkyGH" in row:
+        report = figure_report(
+            "Figure 8",
+            "Group harmonic maximization: Greedy-H (BaseGH) vs NeiSkyGH",
+            ("dataset", "k", "Greedy-H (s)", "NeiSkyGH (s)", "speedup"),
+        )
+        report.add_row(
+            name,
+            k,
+            row["Greedy-H"],
+            row["NeiSkyGH"],
+            row["Greedy-H"] / row["NeiSkyGH"],
+        )
+
+
+@pytest.mark.parametrize("name", TABLE1_NAMES)
+@pytest.mark.parametrize("k", GROUP_K_VALUES)
+def test_fig8_base_gh(benchmark, figure_report, name, k):
+    graph = centrality_instance(name)
+    start = time.perf_counter()
+    benchmark.pedantic(base_gh, args=(graph, k), rounds=1, iterations=1)
+    _record(figure_report, name, k, "Greedy-H", time.perf_counter() - start)
+
+
+@pytest.mark.parametrize("name", TABLE1_NAMES)
+@pytest.mark.parametrize("k", GROUP_K_VALUES)
+def test_fig8_neisky_gh(benchmark, figure_report, name, k):
+    graph = centrality_instance(name)
+
+    def run():
+        skyline = filter_refine_sky(graph).skyline
+        return neisky_gh(graph, k, skyline=skyline)
+
+    start = time.perf_counter()
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    _record(figure_report, name, k, "NeiSkyGH", time.perf_counter() - start)

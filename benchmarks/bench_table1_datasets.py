@@ -1,0 +1,53 @@
+"""Table I — dataset statistics (n, m, dmax) for the five stand-ins.
+
+Regenerates the paper's Table I for the scaled stand-ins, with the
+original statistics alongside for reference.  This "benchmark" times the
+statistics pass itself (a linear scan), mostly so the table is produced
+by the same ``pytest benchmarks/`` invocation as everything else.
+"""
+
+import pytest
+
+from _datasets import dataset
+from repro.graph.metrics import degree_assortativity, global_clustering
+from repro.graph.stats import graph_stats
+from repro.workloads import TABLE1_NAMES, spec
+
+
+@pytest.mark.parametrize("name", TABLE1_NAMES)
+def test_table1_statistics(benchmark, figure_report, name):
+    report = figure_report(
+        "Table 1",
+        "Datasets (scaled stand-ins; paper originals alongside)",
+        (
+            "dataset",
+            "n",
+            "m",
+            "dmax",
+            "clustering",
+            "assortativity",
+            "paper n",
+            "paper m",
+            "paper dmax",
+        ),
+    )
+    graph = dataset(name)
+    stats = benchmark.pedantic(
+        graph_stats, args=(graph,), rounds=1, iterations=1
+    )
+    paper = spec(name).paper
+    report.add_row(
+        name,
+        stats.num_vertices,
+        stats.num_edges,
+        stats.max_degree,
+        global_clustering(graph),
+        degree_assortativity(graph),
+        paper.num_vertices,
+        paper.num_edges,
+        paper.max_degree,
+    )
+    report.add_note(
+        "negative assortativity and nonzero clustering are the "
+        "hub-satellite signatures the skyline results depend on."
+    )

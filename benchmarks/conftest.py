@@ -1,0 +1,51 @@
+"""Benchmark-suite plumbing: figure reports and rendering.
+
+Benchmark modules create one :class:`~repro.harness.runner.FigureReport`
+each via the :func:`figure_report` fixture factory; at the end of the
+session every populated report is written to ``benchmarks/reports/`` and
+echoed into the terminal summary, so a full
+``pytest benchmarks/ --benchmark-only`` run regenerates the paper's
+tables and figures as text artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Make the shared dataset module importable as a plain module when
+# pytest adds this directory to sys.path (rootdir-relative runs).
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.harness.runner import FigureReport  # noqa: E402
+
+_REPORTS: dict[str, FigureReport] = {}
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+
+@pytest.fixture(scope="session")
+def figure_report():
+    """Factory: get-or-create the session-wide report for an artifact."""
+
+    def get(artifact: str, title: str, headers) -> FigureReport:
+        if artifact not in _REPORTS:
+            _REPORTS[artifact] = FigureReport(
+                artifact=artifact, title=title, headers=headers
+            )
+        return _REPORTS[artifact]
+
+    return get
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    populated = [r for r in _REPORTS.values() if r.rows]
+    if not populated:
+        return
+    terminalreporter.section("paper artifact reports")
+    for report in sorted(populated, key=lambda r: r.artifact):
+        path = report.write(REPORT_DIR)
+        terminalreporter.write(report.render())
+        terminalreporter.write_line(f"[written to {path}]")
+        terminalreporter.write_line("")

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Finding the k densest collaboration cores via top-k maximum cliques.
+
+Scenario: in a collaboration network, the largest cliques are the
+tightest working groups ("cores").  Sec. IV-C of the paper extends the
+skyline pruning from one maximum clique (``NeiSkyMC``, Algorithm 5) to
+the k largest cliques (``NeiSkyTopkMCC``).
+
+The script builds a collaboration-style graph (copying backbone plus a
+planted ladder of dense communities — see
+``repro.workloads.synthetic.plant_cliques``), finds the top-k cliques
+with and without skyline pruning, and verifies both agree.
+
+Run:  python examples/collaboration_cores.py [k]
+"""
+
+import sys
+import time
+
+from repro.clique import base_topk_mcc, is_clique, neisky_topk_mcc
+from repro.core import filter_refine_sky
+from repro.graph.generators import copying_power_law
+from repro.workloads.synthetic import plant_cliques
+
+
+def main(k: int = 5) -> None:
+    backbone = copying_power_law(
+        2500, 1.5, 0.92, proto_link_prob=0.4, max_out_degree=40, seed=23
+    )
+    network = plant_cliques(
+        backbone, sizes=(14, 11, 9, 8, 8, 7, 7, 6, 6, 6), seed=23
+    )
+    skyline = filter_refine_sky(network)
+    print(
+        f"collaboration network: {network.num_vertices} researchers, "
+        f"{network.num_edges} co-authorships"
+    )
+    print(
+        f"neighborhood skyline: {skyline.size} vertices "
+        f"({100 * skyline.size / network.num_vertices:.0f}% of the graph)\n"
+    )
+
+    start = time.perf_counter()
+    base = base_topk_mcc(network, k)
+    base_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pruned = neisky_topk_mcc(network, k, skyline_result=skyline)
+    pruned_time = time.perf_counter() - start
+
+    print(f"top-{k} cores (BaseTopkMCC, {base_time:.2f}s):")
+    for i, clique in enumerate(base, start=1):
+        assert is_clique(network, clique)
+        print(f"  #{i}: {len(clique)} members — {clique}")
+
+    print(f"\ntop-{k} cores (NeiSkyTopkMCC, {pruned_time:.2f}s):")
+    for i, clique in enumerate(pruned, start=1):
+        assert is_clique(network, clique)
+        print(f"  #{i}: {len(clique)} members")
+
+    base_sizes = [len(c) for c in base]
+    pruned_sizes = [len(c) for c in pruned]
+    print(
+        f"\nsizes agree rank by rank: {base_sizes == pruned_sizes} "
+        f"({base_sizes})"
+    )
+    print(f"speedup from skyline pruning: {base_time / pruned_time:.2f}x")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 5)

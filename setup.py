@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+All metadata lives in pyproject.toml; this file only exists so that
+``pip install -e .`` works in offline environments without the ``wheel``
+package (pip falls back to ``setup.py develop`` when no build-system
+table is declared).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""Further applications of neighborhood inclusion (paper Sec. I refs).
+
+* :mod:`repro.apps.independent_set` — the reducing-peeling MIS pipeline
+  whose domination rule is the introduction's first motivating use of
+  neighborhood inclusion.
+"""
+
+from repro.apps.independent_set import (
+    exact_maximum_independent_set,
+    is_independent_set,
+    near_maximum_independent_set,
+    reduce_graph,
+)
+
+__all__ = [
+    "exact_maximum_independent_set",
+    "is_independent_set",
+    "near_maximum_independent_set",
+    "reduce_graph",
+]

@@ -1,0 +1,20 @@
+"""Bloom-filter substrate used by the refine phase of FilterRefineSky.
+
+* :class:`~repro.bloom.filter.BloomFilter` — general single-hash filter.
+* :class:`~repro.bloom.vertex_filters.VertexBloomIndex` — shared-width
+  per-vertex neighborhood filters with precomputed bit positions.
+* :func:`~repro.bloom.hashing.splitmix64` / ``make_hash`` — the
+  deterministic integer hash family.
+"""
+
+from repro.bloom.filter import BloomFilter
+from repro.bloom.hashing import make_hash, splitmix64
+from repro.bloom.vertex_filters import VertexBloomIndex, width_for_max_degree
+
+__all__ = [
+    "BloomFilter",
+    "make_hash",
+    "splitmix64",
+    "VertexBloomIndex",
+    "width_for_max_degree",
+]

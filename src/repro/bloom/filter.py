@@ -1,0 +1,99 @@
+"""Single-hash bloom filters over integer element sets.
+
+The refine phase of ``FilterRefineSky`` (Algorithm 3) answers two
+questions with bloom filters built over open neighborhoods:
+
+* **subset pre-check** — ``BF(u) & BF(w) == BF(u)`` is necessary for
+  ``N(u) ⊆ N(w)`` (line 14);
+* **membership pre-check** (``BFcheck``) — bit ``h(x) mod b`` of
+  ``BF(w)`` must be set for ``x ∈ N(w)`` (line 16).
+
+Both are one-sided: a clear bit proves non-membership, a set bit may be a
+false positive (Lemma 2 quantifies the rate), so the caller follows up
+with the exact ``NBRcheck``.
+
+The filter is a Python arbitrary-precision integer used as a bit array.
+That makes the subset pre-check a two-word C-level operation for typical
+sizes, which mirrors the spirit of the paper's 32-bit-word bit tricks
+(``BF[h(v)>>5 % BK] |= 1 << (h(v) & 31)``) without hand-managing words.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.bloom.hashing import make_hash
+from repro.errors import ParameterError
+
+__all__ = ["BloomFilter"]
+
+
+class BloomFilter:
+    """A fixed-width, single-hash bloom filter over non-negative ints.
+
+    Parameters
+    ----------
+    bits:
+        Width ``b`` of the filter in bits; must be a positive multiple
+        of 32 (the paper's word size).
+    hash_fn:
+        64-bit integer hash; defaults to the package-wide SplitMix64
+        hash with seed 0.
+
+    >>> bf = BloomFilter.from_elements([1, 2, 3], bits=64)
+    >>> bf.might_contain(2)
+    True
+    >>> BloomFilter.from_elements([1], bits=64).is_subset_of(bf)
+    True
+    """
+
+    __slots__ = ("bits", "_hash", "_word")
+
+    def __init__(self, bits: int, hash_fn: Callable[[int], int] | None = None):
+        if bits <= 0 or bits % 32 != 0:
+            raise ParameterError(
+                f"bloom width must be a positive multiple of 32, got {bits}"
+            )
+        self.bits = bits
+        self._hash = hash_fn if hash_fn is not None else make_hash(0)
+        self._word = 0
+
+    @classmethod
+    def from_elements(
+        cls,
+        elements: Iterable[int],
+        bits: int,
+        hash_fn: Callable[[int], int] | None = None,
+    ) -> "BloomFilter":
+        """Build a filter containing every element of ``elements``."""
+        bf = cls(bits, hash_fn)
+        for x in elements:
+            bf.add(x)
+        return bf
+
+    def add(self, x: int) -> None:
+        """Insert ``x`` (sets bit ``h(x) mod bits``)."""
+        self._word |= 1 << (self._hash(x) % self.bits)
+
+    def might_contain(self, x: int) -> bool:
+        """``False`` proves ``x`` was never added; ``True`` is a maybe."""
+        return bool(self._word >> (self._hash(x) % self.bits) & 1)
+
+    def is_subset_of(self, other: "BloomFilter") -> bool:
+        """Necessary condition for set inclusion: all our bits set in other.
+
+        Equivalent to the paper's ``BF(u) & BF(w) == BF(u)`` test.  Filters
+        must share width and hash for the comparison to be meaningful.
+        """
+        return (self._word & other._word) == self._word
+
+    @property
+    def popcount(self) -> int:
+        """Number of set bits (used by the ablation's saturation metric)."""
+        return self._word.bit_count()
+
+    def __contains__(self, x: int) -> bool:
+        return self.might_contain(x)
+
+    def __repr__(self) -> str:
+        return f"BloomFilter(bits={self.bits}, set={self.popcount})"

@@ -1,0 +1,255 @@
+"""Command-line interface: ``repro-sky`` / ``python -m repro``.
+
+Subcommands mirror the paper's three workloads:
+
+* ``datasets`` — list the registry.
+* ``skyline``  — compute a neighborhood skyline with any algorithm.
+* ``group``    — greedy group-centrality maximization (closeness or
+  harmonic), with or without skyline pruning.
+* ``clique``   — maximum clique / top-k maximum cliques, with or
+  without skyline pruning.
+* ``stats``    — structural statistics (degrees, triangles, clustering,
+  assortativity, diameter bound).
+
+Graphs come either from the registry (``--dataset``) or from an edge
+list on disk (``--edge-list``, ``#`` comments, 0-based IDs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.centrality import base_gc, base_gh, neisky_gc, neisky_gh
+from repro.clique import base_topk_mcc, mc_brb, neisky_mc, neisky_topk_mcc
+from repro.core import ALGORITHMS, SkylineCounters, neighborhood_skyline
+from repro.errors import ReproError
+from repro.graph.adjacency import Graph
+from repro.graph.io import read_edge_list
+from repro.graph.stats import graph_stats
+from repro.harness.table import format_table
+from repro.workloads import load, names, spec
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--dataset", help="named dataset from the registry"
+    )
+    source.add_argument(
+        "--edge-list", help="path to a whitespace edge-list file"
+    )
+
+
+def _load_graph(args: argparse.Namespace) -> Graph:
+    if args.dataset:
+        return load(args.dataset)
+    return read_edge_list(args.edge_list)
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in names():
+        s = spec(name)
+        g = s.load()
+        st = graph_stats(g)
+        rows.append(
+            (name, s.kind, st.num_vertices, st.num_edges, st.max_degree)
+        )
+    print(format_table(("name", "kind", "n", "m", "dmax"), rows))
+    return 0
+
+
+def _cmd_skyline(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    counters = SkylineCounters() if args.stats else None
+    start = time.perf_counter()
+    result = neighborhood_skyline(
+        graph, algorithm=args.algorithm, counters=counters
+    )
+    elapsed = time.perf_counter() - start
+    print(
+        f"{result.algorithm}: |R| = {result.size} of {graph.num_vertices} "
+        f"vertices ({elapsed:.3f}s)"
+    )
+    if result.candidate_size is not None:
+        print(f"candidate set |C| = {result.candidate_size}")
+    if args.show_vertices:
+        print(" ".join(map(str, result.skyline)))
+    if counters is not None:
+        for key, value in counters.as_dict().items():
+            if value:
+                print(f"  {key} = {value}")
+    if args.layers:
+        from repro.core.layers import layer_sets
+
+        for depth, members in enumerate(layer_sets(graph), start=1):
+            print(f"layer {depth}: {len(members)} vertices")
+    if args.verify:
+        from repro.core.verify import verify_skyline
+
+        verify_skyline(graph, result)
+        print("verification passed")
+    return 0
+
+
+def _cmd_group(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    if args.measure == "closeness":
+        run = base_gc if args.no_skyline else neisky_gc
+    else:
+        run = base_gh if args.no_skyline else neisky_gh
+    start = time.perf_counter()
+    result = run(graph, args.k)
+    elapsed = time.perf_counter() - start
+    label = "Base" if args.no_skyline else "NeiSky"
+    print(
+        f"{label} group-{args.measure} k={args.k}: group = "
+        f"{list(result.group)} ({elapsed:.3f}s, "
+        f"{result.evaluations} gain evaluations)"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.graph.metrics import (
+        approximate_diameter,
+        average_local_clustering,
+        degree_assortativity,
+        global_clustering,
+        triangle_count,
+    )
+
+    graph = _load_graph(args)
+    stats = graph_stats(graph)
+    print(f"vertices            {stats.num_vertices}")
+    print(f"edges               {stats.num_edges}")
+    print(f"max degree          {stats.max_degree}")
+    print(f"average degree      {stats.average_degree:.2f}")
+    print(f"density             {stats.density:.6f}")
+    print(f"triangles           {triangle_count(graph)}")
+    print(f"global clustering   {global_clustering(graph):.4f}")
+    print(f"avg local clustering {average_local_clustering(graph):.4f}")
+    print(f"degree assortativity {degree_assortativity(graph):.4f}")
+    print(f"diameter (approx >=) {approximate_diameter(graph)}")
+    return 0
+
+
+def _cmd_clique(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    start = time.perf_counter()
+    if args.top_k == 1:
+        clique = (
+            mc_brb(graph) if args.no_skyline else neisky_mc(graph)
+        )
+        cliques = [clique]
+    else:
+        run = base_topk_mcc if args.no_skyline else neisky_topk_mcc
+        cliques = run(graph, args.top_k)
+    elapsed = time.perf_counter() - start
+    label = "Base" if args.no_skyline else "NeiSky"
+    print(f"{label} top-{args.top_k} maximum cliques ({elapsed:.3f}s):")
+    for i, clique in enumerate(cliques, start=1):
+        print(f"  #{i} size {len(clique)}: {clique}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-sky`` argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sky",
+        description=(
+            "Neighborhood skyline on graphs (ICDE 2023 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list registered datasets")
+
+    p_sky = sub.add_parser("skyline", help="compute a neighborhood skyline")
+    _add_graph_arguments(p_sky)
+    p_sky.add_argument(
+        "--algorithm",
+        default="filter_refine",
+        choices=sorted(ALGORITHMS),
+        help="skyline algorithm (default: filter_refine)",
+    )
+    p_sky.add_argument(
+        "--stats", action="store_true", help="print work counters"
+    )
+    p_sky.add_argument(
+        "--show-vertices",
+        action="store_true",
+        help="print the skyline vertex ids",
+    )
+    p_sky.add_argument(
+        "--layers",
+        action="store_true",
+        help="also print the dominance-layer decomposition sizes",
+    )
+    p_sky.add_argument(
+        "--verify",
+        action="store_true",
+        help="independently verify the result (slow on large graphs)",
+    )
+
+    p_grp = sub.add_parser(
+        "group", help="greedy group-centrality maximization"
+    )
+    _add_graph_arguments(p_grp)
+    p_grp.add_argument(
+        "--measure",
+        default="closeness",
+        choices=("closeness", "harmonic"),
+    )
+    p_grp.add_argument("--k", type=int, default=10, help="group size")
+    p_grp.add_argument(
+        "--no-skyline",
+        action="store_true",
+        help="disable skyline pruning (Base* variant)",
+    )
+
+    p_stats = sub.add_parser(
+        "stats", help="structural statistics of a graph"
+    )
+    _add_graph_arguments(p_stats)
+
+    p_clq = sub.add_parser("clique", help="maximum clique search")
+    _add_graph_arguments(p_clq)
+    p_clq.add_argument(
+        "--top-k", type=int, default=1, help="number of cliques"
+    )
+    p_clq.add_argument(
+        "--no-skyline",
+        action="store_true",
+        help="disable skyline pruning (Base* variant)",
+    )
+    return parser
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "skyline": _cmd_skyline,
+    "group": _cmd_group,
+    "clique": _cmd_clique,
+    "stats": _cmd_stats,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

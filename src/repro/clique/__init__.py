@@ -1,0 +1,34 @@
+"""Maximum-clique computation (Sec. IV-C of the paper).
+
+* :func:`~repro.clique.branch_bound.base_mcc` — the simple B&B baseline.
+* :func:`~repro.clique.mcbrb.mc_brb` — the MC-BRB-style exact solver.
+* :func:`~repro.clique.neisky.neisky_mc` — Algorithm 5 (skyline roots).
+* :func:`~repro.clique.topk.base_topk_mcc` /
+  :func:`~repro.clique.topk.neisky_topk_mcc` — k largest cliques.
+* Support: degeneracy ordering, core numbers, clique predicates.
+"""
+
+from repro.clique.branch_bound import base_mcc
+from repro.clique.mcbrb import (
+    greedy_heuristic_clique,
+    max_clique_with_root,
+    mc_brb,
+)
+from repro.clique.neisky import neisky_mc
+from repro.clique.ordering import core_numbers, degeneracy_ordering
+from repro.clique.topk import base_topk_mcc, neisky_topk_mcc
+from repro.clique.verify import is_clique, is_maximal_clique
+
+__all__ = [
+    "base_mcc",
+    "greedy_heuristic_clique",
+    "max_clique_with_root",
+    "mc_brb",
+    "neisky_mc",
+    "core_numbers",
+    "degeneracy_ordering",
+    "base_topk_mcc",
+    "neisky_topk_mcc",
+    "is_clique",
+    "is_maximal_clique",
+]

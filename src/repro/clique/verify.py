@@ -1,0 +1,37 @@
+"""Clique predicates — used by solvers' postconditions and by tests."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.graph.adjacency import Graph
+
+__all__ = ["is_clique", "is_maximal_clique"]
+
+
+def is_clique(graph: Graph, vertices: Iterable[int]) -> bool:
+    """``True`` iff every pair of ``vertices`` is adjacent."""
+    members = sorted(set(vertices))
+    for i, u in enumerate(members):
+        for v in members[i + 1 :]:
+            if not graph.has_edge(u, v):
+                return False
+    return True
+
+
+def is_maximal_clique(graph: Graph, vertices: Iterable[int]) -> bool:
+    """``True`` iff ``vertices`` is a clique no vertex can extend."""
+    members = set(vertices)
+    if not is_clique(graph, members):
+        return False
+    if not members:
+        return graph.num_vertices == 0
+    # A vertex extends the clique iff it is adjacent to every member;
+    # checking the neighbors of one member suffices as candidates.
+    anchor = next(iter(members))
+    for w in graph.neighbors(anchor):
+        if w in members:
+            continue
+        if all(graph.has_edge(w, v) for v in members):
+            return False
+    return True

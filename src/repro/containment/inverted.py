@@ -1,0 +1,45 @@
+"""Inverted index over a :class:`~repro.containment.records.RecordSet`.
+
+Maps each element ``x`` to the sorted list of record IDs containing
+``x``.  This is the index the set-containment-join literature (including
+LC-Join) builds on the data set ``S`` — and, as the paper notes for the
+skyline use case, its size is what makes join-based approaches memory
+hungry: the index duplicates every element occurrence.
+"""
+
+from __future__ import annotations
+
+from repro.containment.records import RecordSet
+
+__all__ = ["InvertedIndex"]
+
+
+class InvertedIndex:
+    """Element → sorted record-ID postings over a record set."""
+
+    __slots__ = ("_postings",)
+
+    def __init__(self, records: RecordSet):
+        postings: list[list[int]] = [[] for _ in range(records.universe)]
+        for rid, record in enumerate(records):
+            for x in record:
+                postings[x].append(rid)
+        # Record IDs are appended in increasing order, so each posting
+        # list is already sorted.
+        self._postings = postings
+
+    def postings(self, x: int) -> list[int]:
+        """Sorted record IDs whose record contains ``x`` (empty if none)."""
+        if 0 <= x < len(self._postings):
+            return self._postings[x]
+        return []
+
+    def posting_length(self, x: int) -> int:
+        """``len(postings(x))`` without materializing anything."""
+        if 0 <= x < len(self._postings):
+            return len(self._postings[x])
+        return 0
+
+    def memory_entries(self) -> int:
+        """Total posting entries — the Exp-2 memory proxy for LC-Join."""
+        return sum(len(p) for p in self._postings)

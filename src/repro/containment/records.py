@@ -1,0 +1,86 @@
+"""Record collections for set-containment queries and joins.
+
+The paper frames neighborhood-inclusion discovery as a *set containment
+join*: the data set ``S`` holds one record per vertex (``N[i]``), the
+query set ``Q`` another (``N(i)``), and the join finds, for each query,
+every record that contains it.  This module provides the generic record
+container the join algorithms operate on, independent of graphs, so the
+containment machinery is reusable (and testable) on arbitrary set data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ParameterError
+
+__all__ = ["RecordSet"]
+
+
+class RecordSet:
+    """An indexed collection of integer-set records.
+
+    Records are stored as sorted tuples.  Element values must be
+    non-negative ints; the *universe* size (max element + 1) is tracked
+    for index sizing.
+    """
+
+    __slots__ = ("_records", "_universe")
+
+    def __init__(self, records: Iterable[Iterable[int]]):
+        stored: list[tuple[int, ...]] = []
+        universe = 0
+        for record in records:
+            ordered = tuple(sorted(set(record)))
+            if ordered and ordered[0] < 0:
+                raise ParameterError(
+                    f"record elements must be >= 0, got {ordered[0]}"
+                )
+            if ordered:
+                universe = max(universe, ordered[-1] + 1)
+            stored.append(ordered)
+        self._records = stored
+        self._universe = universe
+
+    @property
+    def universe(self) -> int:
+        """Smallest ``U`` such that every element is in ``[0, U)``."""
+        return self._universe
+
+    def record(self, i: int) -> tuple[int, ...]:
+        """The ``i``-th record as a sorted tuple."""
+        return self._records[i]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def total_elements(self) -> int:
+        """Sum of record cardinalities (the index's memory driver)."""
+        return sum(len(r) for r in self._records)
+
+    @classmethod
+    def closed_neighborhoods(cls, graph) -> "RecordSet":
+        """The paper's data set ``S``: record ``i`` is ``N[i]``."""
+        return cls(
+            graph.closed_neighborhood(u) for u in graph.vertices()
+        )
+
+    @classmethod
+    def open_neighborhoods(cls, graph) -> "RecordSet":
+        """The paper's query set ``Q``: record ``i`` is ``N(i)``."""
+        return cls(graph.neighbors(u) for u in graph.vertices())
+
+    @staticmethod
+    def contains(big: Sequence[int], small: Sequence[int]) -> bool:
+        """``True`` iff sorted ``small`` ⊆ sorted ``big`` (linear merge)."""
+        i, len_big = 0, len(big)
+        for x in small:
+            while i < len_big and big[i] < x:
+                i += 1
+            if i == len_big or big[i] != x:
+                return False
+            i += 1
+        return True

@@ -1,0 +1,82 @@
+"""High-level entry points for neighborhood-skyline computation.
+
+:func:`neighborhood_skyline` is the one function most users need: it
+dispatches by name to the five algorithms the paper evaluates and
+returns a uniform :class:`~repro.core.result.SkylineResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.base_sky import base_sky
+from repro.core.counters import SkylineCounters
+from repro.core.cset import base_cset_sky
+from repro.core.filter_phase import filter_phase
+from repro.core.filter_refine import filter_refine_sky
+from repro.core.join_sky import lc_join_sky
+from repro.core.naive import naive_skyline
+from repro.core.result import SkylineResult
+from repro.core.two_hop import base_two_hop_sky
+from repro.errors import ParameterError
+from repro.graph.adjacency import Graph
+
+__all__ = ["neighborhood_skyline", "neighborhood_candidates", "ALGORITHMS"]
+
+#: Name → implementation for every skyline algorithm in the paper's Exp-1,
+#: plus the naive reference.
+ALGORITHMS: dict[str, Callable[..., SkylineResult]] = {
+    "filter_refine": filter_refine_sky,
+    "base": base_sky,
+    "two_hop": base_two_hop_sky,
+    "cset": base_cset_sky,
+    "lc_join": lc_join_sky,
+    "naive": naive_skyline,
+}
+
+
+def neighborhood_skyline(
+    graph: Graph,
+    algorithm: str = "filter_refine",
+    *,
+    counters: Optional[SkylineCounters] = None,
+    **options,
+) -> SkylineResult:
+    """Compute the neighborhood skyline of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The input graph.
+    algorithm:
+        One of ``"filter_refine"`` (the paper's FilterRefineSky — the
+        default and fastest), ``"base"`` (BaseSky), ``"two_hop"``
+        (Base2Hop), ``"cset"`` (BaseCSet), ``"lc_join"`` (the
+        containment-join baseline) or ``"naive"`` (the quadratic
+        reference).
+    counters:
+        Optional :class:`SkylineCounters` to collect work statistics.
+    options:
+        Algorithm-specific keywords, e.g. ``bloom_bits`` / ``seed`` /
+        ``exact`` for ``"filter_refine"`` and ``"two_hop"``.
+
+    >>> from repro.graph.generators import complete_graph
+    >>> neighborhood_skyline(complete_graph(5)).skyline
+    (0,)
+    """
+    try:
+        impl = ALGORITHMS[algorithm]
+    except KeyError:
+        raise ParameterError(
+            f"unknown skyline algorithm {algorithm!r}; choose from "
+            f"{sorted(ALGORITHMS)}"
+        ) from None
+    return impl(graph, counters=counters, **options)
+
+
+def neighborhood_candidates(
+    graph: Graph, *, counters: Optional[SkylineCounters] = None
+) -> tuple[int, ...]:
+    """The candidate set ``C`` of the filter phase alone (Lemma 1 superset)."""
+    candidates, _dominator = filter_phase(graph, counters=counters)
+    return tuple(candidates)

@@ -1,0 +1,144 @@
+"""ε-approximate neighborhood skyline (the paper's future-work remark).
+
+The paper's Sec. III remark sketches an "approximate neighborhood
+skyline based on approximate domination relationships" and leaves the
+definitions open.  This module supplies one principled instantiation:
+
+**ε-domination.**  For ``ε ∈ [0, 1)``, vertex ``u`` *ε-dominates* ``v``
+when all but an ε-fraction of ``v``'s neighborhood is covered::
+
+    |N(v) \\ N[u]|  ≤  ε · deg(v)
+
+with the same strictness/tie-break structure as Def. 2 (mutual
+ε-inclusion falls back to the ID order) and the same 2-hop convention.
+``ε = 0`` is exactly Def. 2.  The **ε-skyline** is the set of vertices
+no one ε-dominates.
+
+Properties (tested in ``tests/core/test_approx.py`` and
+``tests/property/test_structure_properties.py``):
+
+* ε-*inclusion* is monotone in ε (a covered neighborhood stays covered
+  under a looser threshold);
+* conservative at 0: ``approx_skyline(g, 0) == neighborhood_skyline(g)``;
+* still 2-hop local for ε < 1: covering more than ``(1-ε) deg(v) > 0``
+  neighbors requires sharing at least one neighbor;
+* the ε-skyline *typically* shrinks as ε grows, but not always: a
+  strict domination can relax into a *mutual* ε-inclusion whose ID
+  tie-break points the other way, re-admitting the vertex.  The sound
+  guarantees are the membership ones — every reported member is
+  ε-undominated and every excluded vertex has an ε-dominator.
+
+Note ε-domination is *not* transitive in general, so the dominated-
+dominator skip of Algorithm 3 would be unsound here; the implementation
+is a threshold-counting scan in the style of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.result import SkylineResult
+from repro.errors import ParameterError
+from repro.graph.adjacency import Graph
+
+__all__ = ["approx_skyline", "epsilon_dominates"]
+
+
+def epsilon_dominates(graph: Graph, u: int, v: int, epsilon: float) -> bool:
+    """``True`` iff ``u`` ε-dominates ``v`` (pairwise reference predicate).
+
+    Mirrors Def. 2's structure: ``v`` must be ε-included by ``u``, and
+    either ``u`` is *not* ε-included by ``v`` (strict) or the inclusion
+    is mutual and ``u < v``.
+    """
+    _check_epsilon(epsilon)
+    if u == v or graph.degree(v) == 0:
+        return False  # 2-hop convention, as in the exact order
+    if not _eps_included(graph, v, u, epsilon):
+        return False
+    if not _eps_included(graph, u, v, epsilon):
+        return True
+    return u < v
+
+
+def _check_epsilon(epsilon: float) -> None:
+    if not (0.0 <= epsilon < 1.0):
+        raise ParameterError(f"epsilon must be in [0, 1), got {epsilon}")
+
+
+def approx_skyline(
+    graph: Graph,
+    epsilon: float,
+    *,
+    counters: Optional[object] = None,
+) -> SkylineResult:
+    """Compute the ε-approximate neighborhood skyline.
+
+    Threshold-counting scan over each vertex's 2-hop neighborhood:
+    ``T(w) = |N(u) ∩ N[w]|`` as in Algorithm 1, with the trigger lowered
+    from ``deg(u)`` to ``ceil((1-ε) · deg(u))``.  ``O(m · dmax)``.
+    """
+    _check_epsilon(epsilon)
+    n = graph.num_vertices
+    dominator = list(range(n))
+    count = [0] * n
+    stamp = [-1] * n
+
+    for u in range(n):
+        if dominator[u] != u:
+            continue
+        deg_u = graph.degree(u)
+        if deg_u == 0:
+            continue
+        needed = deg_u - math.floor(epsilon * deg_u)
+        strictly_dominated = False
+        for v in graph.neighbors(u):
+            if strictly_dominated:
+                break
+            for w in _closed_except(graph, v, u):
+                if stamp[w] != u:
+                    stamp[w] = u
+                    count[w] = 0
+                count[w] += 1
+                if count[w] != needed:
+                    continue
+                # u is ε-included by w; resolve direction.
+                if _eps_included(graph, w, u, epsilon):
+                    # Mutual: ID tie-break, keep scanning.
+                    if u > w and dominator[u] == u:
+                        dominator[u] = w
+                elif dominator[u] == u:
+                    dominator[u] = w
+                    strictly_dominated = True
+                    break
+
+    skyline = tuple(u for u in range(n) if dominator[u] == u)
+    return SkylineResult(
+        skyline=skyline,
+        dominator=tuple(dominator),
+        candidates=None,
+        algorithm=f"ApproxSky(eps={epsilon})",
+    )
+
+
+def _eps_included(graph: Graph, v: int, u: int, epsilon: float) -> bool:
+    """``True`` iff v is ε-included by u: ``|N(v) \\ N[u]| ≤ ε·deg(v)``."""
+    deg_v = graph.degree(v)
+    if deg_v == 0:
+        return True
+    allowed = math.floor(epsilon * deg_v)
+    misses = 0
+    for w in graph.neighbors(v):
+        if w != u and not graph.has_edge(w, u):
+            misses += 1
+            if misses > allowed:
+                return False
+    return True
+
+
+def _closed_except(graph: Graph, v: int, u: int):
+    for w in graph.neighbors(v):
+        if w != u:
+            yield w
+    yield v

@@ -1,0 +1,96 @@
+"""Neighborhood inclusion and domination predicates (Defs. 1, 2, 4, 5).
+
+These are the literal, pair-at-a-time definitions from Sec. II/III-B of
+the paper.  They are quadratic-ish and exist to (a) serve as the ground
+truth the fast algorithms are tested against and (b) give applications a
+readable vocabulary (``dominates``, ``edge_constrained_dominates``).
+
+Semantic convention (see DESIGN.md §1): *domination requires the
+dominated vertex to lie within two hops of the dominator.*  For vertices
+with at least one neighbor this is implied by Def. 2 itself; the
+convention only matters for isolated vertices, which the paper's
+algorithms (and therefore this package) treat as skyline members.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.graph.adjacency import Graph
+
+__all__ = [
+    "neighborhood_included",
+    "dominates",
+    "edge_constrained_included",
+    "edge_constrained_dominates",
+    "two_hop_neighbors",
+]
+
+
+def neighborhood_included(graph: Graph, v: int, u: int) -> bool:
+    """Def. 1 — ``True`` iff ``N(v) ⊆ N[u]`` (v is included by u).
+
+    ``O(deg(v) log deg(u))`` via binary-searched membership.
+    """
+    if v == u:
+        return True
+    for w in graph.neighbors(v):
+        if w != u and not graph.has_edge(w, u):
+            return False
+    return True
+
+
+def dominates(graph: Graph, u: int, v: int) -> bool:
+    """Def. 2 — ``True`` iff ``v ≤ u`` (u dominates v).
+
+    Requires ``N(v) ⊆ N[u]`` and either the inclusion is strict
+    (``N(u) ⊄ N[v]``) or it is mutual and ``u < v`` (ID tie-break).
+
+    Per the package convention, an isolated ``v`` is dominated by no one
+    (its empty neighborhood vacuously includes into everything, but no
+    vertex lies within two hops of it).
+    """
+    if u == v:
+        return False
+    if graph.degree(v) == 0:
+        return False
+    if not neighborhood_included(graph, v, u):
+        return False
+    if not neighborhood_included(graph, u, v):
+        return True
+    return u < v
+
+
+def edge_constrained_included(graph: Graph, v: int, u: int) -> bool:
+    """Def. 4 — ``True`` iff ``(u, v) ∈ E`` and ``N[v] ⊆ N[u]``."""
+    if v == u or not graph.has_edge(u, v):
+        return False
+    # With the edge present, N[v] ⊆ N[u]  ⟺  N(v) ⊆ N[u].
+    return neighborhood_included(graph, v, u)
+
+
+def edge_constrained_dominates(graph: Graph, u: int, v: int) -> bool:
+    """Def. 5 — ``True`` iff ``v ⊑ u`` under the edge-constrained order."""
+    if not edge_constrained_included(graph, v, u):
+        return False
+    if not edge_constrained_included(graph, u, v):
+        return True
+    return u < v
+
+
+def two_hop_neighbors(graph: Graph, u: int) -> Iterator[int]:
+    """All vertices reachable from ``u`` in one or two hops, ``u`` excluded.
+
+    Each vertex is yielded exactly once.  This realizes the search space
+    ``N2(u)`` of Algorithm 1 — the only vertices that can dominate a
+    non-isolated ``u``.
+    """
+    seen = {u}
+    for v in graph.neighbors(u):
+        if v not in seen:
+            seen.add(v)
+            yield v
+        for w in graph.neighbors(v):
+            if w not in seen:
+                seen.add(w)
+                yield w

@@ -1,0 +1,159 @@
+"""Incremental skyline maintenance under edge updates.
+
+The paper computes the skyline of a static graph; real deployments see
+edges arrive and disappear.  :class:`DynamicSkyline` maintains the
+skyline across single-edge insertions and deletions by re-deciding only
+the vertices whose domination status can actually change.
+
+Locality argument (why the affected set is small): whether ``x`` is
+dominated depends only on (a) ``N(x)``, (b) the neighborhoods ``N(w)``
+of its 2-hop neighbors, and (c) which vertices *are* 2-hop neighbors.
+Flipping the edge ``(u, v)`` changes only ``N(u)`` and ``N(v)``, so a
+vertex ``x`` is affected only if ``u`` or ``v`` lies in
+``{x} ∪ N2(x)`` — equivalently, ``x`` lies within two hops of ``u`` or
+``v`` in the old *or* new graph.  Each affected vertex is re-decided by
+a direct scan of its 2-hop neighborhood.
+
+The structure is deliberately simple (adjacency sets plus per-vertex
+recompute); for a flood of updates, batch them and recompute with
+:func:`~repro.core.filter_refine.filter_refine_sky` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import GraphFormatError
+from repro.graph.adjacency import Graph
+
+__all__ = ["DynamicSkyline"]
+
+
+class DynamicSkyline:
+    """Maintains the neighborhood skyline of an evolving graph.
+
+    >>> from repro.graph.generators import path_graph
+    >>> d = DynamicSkyline(path_graph(4))
+    >>> sorted(d.skyline)
+    [1, 2]
+    >>> d.insert_edge(0, 3)   # close the path into a cycle
+    >>> sorted(d.skyline)
+    [0, 1, 2, 3]
+    """
+
+    def __init__(self, graph: Graph):
+        self._n = graph.num_vertices
+        self._adj: list[set[int]] = [
+            set(graph.neighbors(u)) for u in graph.vertices()
+        ]
+        self._dominated = bytearray(self._n)
+        for u in range(self._n):
+            self._dominated[u] = self._is_dominated(u)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def skyline(self) -> tuple[int, ...]:
+        """The current neighborhood skyline, sorted."""
+        return tuple(
+            u for u in range(self._n) if not self._dominated[u]
+        )
+
+    def in_skyline(self, u: int) -> bool:
+        """``True`` iff ``u`` is currently undominated."""
+        return not self._dominated[u]
+
+    def to_graph(self) -> Graph:
+        """Snapshot the current edge set as an immutable :class:`Graph`."""
+        edges = [
+            (u, v)
+            for u in range(self._n)
+            for v in self._adj[u]
+            if u < v
+        ]
+        return Graph.from_edges(self._n, edges)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: int, v: int) -> None:
+        """Add the edge ``(u, v)`` and repair the skyline."""
+        self._check(u, v)
+        if v in self._adj[u]:
+            raise GraphFormatError(f"edge ({u}, {v}) already present")
+        affected = self._affected(u, v)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        affected |= self._affected(u, v)
+        self._repair(affected)
+
+    def delete_edge(self, u: int, v: int) -> None:
+        """Remove the edge ``(u, v)`` and repair the skyline."""
+        self._check(u, v)
+        if v not in self._adj[u]:
+            raise GraphFormatError(f"edge ({u}, {v}) not present")
+        affected = self._affected(u, v)
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        affected |= self._affected(u, v)
+        self._repair(affected)
+
+    def apply(self, insertions: Iterable[tuple[int, int]] = (),
+              deletions: Iterable[tuple[int, int]] = ()) -> None:
+        """Apply a batch of updates (insertions first, then deletions)."""
+        for u, v in insertions:
+            self.insert_edge(u, v)
+        for u, v in deletions:
+            self.delete_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check(self, u: int, v: int) -> None:
+        if u == v:
+            raise GraphFormatError(f"self-loop at vertex {u}")
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            raise GraphFormatError(
+                f"edge ({u}, {v}) out of range for n={self._n}"
+            )
+
+    def _affected(self, u: int, v: int) -> set[int]:
+        """Vertices within two hops of ``u`` or ``v`` (current adjacency)."""
+        result = {u, v}
+        for endpoint in (u, v):
+            for x in self._adj[endpoint]:
+                result.add(x)
+                result.update(self._adj[x])
+        return result
+
+    def _repair(self, affected: set[int]) -> None:
+        for x in affected:
+            self._dominated[x] = self._is_dominated(x)
+
+    def _is_dominated(self, x: int) -> bool:
+        """Direct Def.-2 scan of x's 2-hop neighborhood."""
+        adj = self._adj
+        nbrs_x = adj[x]
+        deg_x = len(nbrs_x)
+        if deg_x == 0:
+            return False  # isolated vertices stay (package convention)
+        seen = {x}
+        for v in nbrs_x:
+            for w in adj[v] | {v}:
+                if w in seen:
+                    continue
+                seen.add(w)
+                nbrs_w = adj[w]
+                deg_w = len(nbrs_w)
+                if deg_w < deg_x:
+                    continue
+                # N(x) ⊆ N[w]?
+                if not nbrs_x <= (nbrs_w | {w}):
+                    continue
+                if deg_w > deg_x:
+                    return True
+                # Equal degree: mutual inclusion, ID tie-break.
+                if w < x:
+                    return True
+        return False

@@ -1,0 +1,53 @@
+"""Naive reference skyline: test every vertex against its 2-hop neighbors.
+
+This is the ground truth for the whole test suite.  It applies
+:func:`~repro.core.domination.dominates` literally — no candidate
+filtering, no bloom filters, no single-update short-circuit — so its
+correctness is a direct transcription of Definitions 2 and 3.  Cost is
+``O(Σ_u Σ_{w ∈ N2(u)} deg(w) log d)``; use only on small graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.counters import NULL_COUNTERS, SkylineCounters
+from repro.core.domination import dominates, two_hop_neighbors
+from repro.core.result import SkylineResult
+from repro.graph.adjacency import Graph
+
+__all__ = ["naive_skyline"]
+
+
+def naive_skyline(
+    graph: Graph, *, counters: Optional[SkylineCounters] = None
+) -> SkylineResult:
+    """Compute the neighborhood skyline by exhaustive pairwise checks.
+
+    For every vertex ``u``, scan its 2-hop neighborhood for any dominator;
+    ``u`` is in the skyline iff none exists (Def. 3).
+
+    ``counters`` is accepted for interface uniformity; only
+    ``pair_tests`` and ``dominations_found`` are meaningful here.
+    """
+    stats = counters if counters is not None else NULL_COUNTERS
+    n = graph.num_vertices
+    dominator = list(range(n))
+    skyline: list[int] = []
+    for u in range(n):
+        found = u
+        for w in two_hop_neighbors(graph, u):
+            stats.pair_tests += 1
+            if dominates(graph, w, u):
+                found = w
+                stats.dominations_found += 1
+                break
+        dominator[u] = found
+        if found == u:
+            skyline.append(u)
+    return SkylineResult(
+        skyline=tuple(skyline),
+        dominator=tuple(dominator),
+        candidates=None,
+        algorithm="naive",
+    )

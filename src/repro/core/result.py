@@ -1,0 +1,68 @@
+"""Result type shared by every skyline algorithm.
+
+All algorithms return a :class:`SkylineResult` carrying the skyline
+itself, the dominator map ``O(*)`` (the witness that justifies each
+exclusion), and — for the filter–refine family — the candidate set ``C``.
+Keeping the witnesses makes the result self-verifying: tests can check
+``dominates(g, u, O(u))`` for every excluded ``u`` instead of trusting
+the algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.counters import SkylineCounters
+
+__all__ = ["SkylineResult"]
+
+
+@dataclass(frozen=True)
+class SkylineResult:
+    """Outcome of a neighborhood-skyline computation.
+
+    Attributes
+    ----------
+    skyline:
+        The sorted neighborhood skyline ``R``.
+    dominator:
+        ``dominator[u]`` is a vertex that dominates ``u`` (``u ≤ O(u)``),
+        or ``u`` itself when ``u ∈ R``.  Note the witness is the *first*
+        dominator found, not necessarily a skyline member.
+    candidates:
+        The candidate set ``C`` from the filter phase, when the algorithm
+        computed one (``None`` for BaseSky and the naive reference).
+    algorithm:
+        Name of the producing algorithm, for reporting.
+    counters:
+        The instrumentation counters if the caller requested them.
+    """
+
+    skyline: tuple[int, ...]
+    dominator: tuple[int, ...]
+    candidates: Optional[tuple[int, ...]] = None
+    algorithm: str = ""
+    counters: Optional[SkylineCounters] = field(default=None, compare=False)
+
+    @property
+    def skyline_set(self) -> frozenset[int]:
+        """The skyline as a frozenset for membership queries."""
+        return frozenset(self.skyline)
+
+    @property
+    def size(self) -> int:
+        """``|R|`` — the quantity plotted in the paper's Fig. 5/6."""
+        return len(self.skyline)
+
+    @property
+    def candidate_size(self) -> Optional[int]:
+        """``|C|`` when a filter phase ran, else ``None``."""
+        return None if self.candidates is None else len(self.candidates)
+
+    def __repr__(self) -> str:
+        cand = "" if self.candidates is None else f", |C|={len(self.candidates)}"
+        return (
+            f"SkylineResult(algorithm={self.algorithm!r}, "
+            f"|R|={len(self.skyline)}{cand})"
+        )

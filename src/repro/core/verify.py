@@ -1,0 +1,90 @@
+"""Independent verification of skyline results.
+
+:func:`verify_skyline` re-derives, from first principles (the literal
+Def. 2 predicate, no shared code with the fast algorithms beyond the
+predicate itself), that a :class:`~repro.core.result.SkylineResult` is
+correct for a graph:
+
+1. every reported skyline member is genuinely undominated;
+2. every excluded vertex is genuinely dominated by *someone*;
+3. every dominator entry is a valid neighborhood-inclusion witness;
+4. the candidate set (when present) contains the skyline and excludes
+   only edge-dominated vertices.
+
+Quadratic-ish — meant for tests, debugging and the CLI's ``--verify``
+flag, not for production hot paths.
+"""
+
+from __future__ import annotations
+
+from repro.core.domination import (
+    dominates,
+    edge_constrained_dominates,
+    neighborhood_included,
+    two_hop_neighbors,
+)
+from repro.core.result import SkylineResult
+from repro.graph.adjacency import Graph
+
+__all__ = ["verify_skyline", "SkylineVerificationError"]
+
+
+class SkylineVerificationError(AssertionError):
+    """Raised by :func:`verify_skyline` with a human-readable reason."""
+
+
+def verify_skyline(graph: Graph, result: SkylineResult) -> None:
+    """Raise :class:`SkylineVerificationError` unless ``result`` is correct."""
+    n = graph.num_vertices
+    if len(result.dominator) != n:
+        raise SkylineVerificationError(
+            f"dominator array has {len(result.dominator)} entries "
+            f"for a {n}-vertex graph"
+        )
+    members = result.skyline_set
+    if sorted(members) != list(result.skyline):
+        raise SkylineVerificationError("skyline is not sorted/unique")
+
+    for u in range(n):
+        witness = result.dominator[u]
+        if (witness == u) != (u in members):
+            raise SkylineVerificationError(
+                f"vertex {u}: dominator entry inconsistent with skyline "
+                f"membership"
+            )
+        if u in members:
+            for w in two_hop_neighbors(graph, u):
+                if dominates(graph, w, u):
+                    raise SkylineVerificationError(
+                        f"skyline vertex {u} is dominated by {w}"
+                    )
+        else:
+            if not neighborhood_included(graph, u, witness):
+                raise SkylineVerificationError(
+                    f"vertex {u}: witness {witness} is not an inclusion "
+                    f"(N({u}) ⊄ N[{witness}])"
+                )
+            if not any(
+                dominates(graph, w, u) for w in two_hop_neighbors(graph, u)
+            ):
+                raise SkylineVerificationError(
+                    f"vertex {u} excluded but dominated by nobody"
+                )
+
+    if result.candidates is not None:
+        candidates = set(result.candidates)
+        if not members <= candidates:
+            raise SkylineVerificationError(
+                "skyline not contained in the candidate set"
+            )
+        for u in range(n):
+            if u in candidates:
+                continue
+            if not any(
+                edge_constrained_dominates(graph, v, u)
+                for v in graph.neighbors(u)
+            ):
+                raise SkylineVerificationError(
+                    f"vertex {u} excluded from C without an "
+                    f"edge-constrained dominator"
+                )

@@ -1,0 +1,139 @@
+"""Reading and writing edge-list files.
+
+Two on-disk formats are supported, matching the sources the paper draws
+its datasets from:
+
+* **Plain edge lists** (SNAP style): one ``u v`` pair per line, ``#``
+  comments, blank lines ignored.
+* **KONECT ``out.*`` files**: identical except comment lines start with
+  ``%`` and vertex IDs are 1-based.  :func:`read_edge_list` handles both
+  via the ``comment`` and ``base`` parameters; :func:`read_konect` is the
+  preconfigured convenience wrapper.
+
+Vertex IDs in a file may be sparse (e.g. ``{3, 17, 90}``); by default they
+are compacted to ``0 .. n-1`` preserving numeric order, so that the
+ID-based tie-break of Definition 2 stays deterministic.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import IO, Iterable, Union
+
+from repro.errors import GraphFormatError
+from repro.graph.adjacency import Graph
+from repro.graph.builder import GraphBuilder
+
+__all__ = ["read_edge_list", "read_konect", "write_edge_list"]
+
+PathOrFile = Union[str, os.PathLike, IO[str]]
+
+
+def _open_for_read(source: PathOrFile) -> tuple[IO[str], bool]:
+    if isinstance(source, (str, os.PathLike)):
+        return open(source, "r", encoding="utf-8"), True
+    return source, False
+
+
+def read_edge_list(
+    source: PathOrFile,
+    *,
+    comment: str = "#",
+    base: int = 0,
+    compact: bool = True,
+    allow_duplicates: bool = True,
+) -> Graph:
+    """Parse a whitespace-separated edge list into a :class:`Graph`.
+
+    Parameters
+    ----------
+    source:
+        A path or an open text file.
+    comment:
+        Lines starting with this prefix are skipped.
+    base:
+        Subtracted from every vertex ID (KONECT files are 1-based).
+    compact:
+        Relabel the IDs that actually occur to ``0 .. n-1`` in sorted
+        order.  When ``False``, the largest ID determines ``n`` and
+        unreferenced IDs become isolated vertices.
+    allow_duplicates:
+        Real-world dumps routinely repeat edges (and list both
+        orientations); with the default ``True`` they are silently
+        deduplicated.  Set to ``False`` to make repeats an error.
+    """
+    fh, should_close = _open_for_read(source)
+    pairs: list[tuple[int, int]] = []
+    try:
+        for lineno, line in enumerate(fh, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(comment):
+                continue
+            fields = stripped.split()
+            if len(fields) < 2:
+                raise GraphFormatError(
+                    f"line {lineno}: expected two vertex ids, got {stripped!r}"
+                )
+            try:
+                u, v = int(fields[0]) - base, int(fields[1]) - base
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"line {lineno}: non-integer vertex id in {stripped!r}"
+                ) from exc
+            if u < 0 or v < 0:
+                raise GraphFormatError(
+                    f"line {lineno}: negative vertex id after applying "
+                    f"base={base}"
+                )
+            if u == v:
+                # Self-loops appear in some raw dumps; the paper's model is
+                # simple graphs, so they are dropped rather than fatal.
+                continue
+            pairs.append((u, v))
+    finally:
+        if should_close:
+            fh.close()
+
+    if compact:
+        ids = sorted({x for pair in pairs for x in pair})
+        remap = {old: new for new, old in enumerate(ids)}
+        pairs = [(remap[u], remap[v]) for u, v in pairs]
+
+    builder = GraphBuilder()
+    for u, v in pairs:
+        if not allow_duplicates and builder.has_edge(u, v):
+            raise GraphFormatError(f"duplicate edge ({u}, {v})")
+        builder.add_edge(u, v)
+    return builder.build()
+
+
+def read_konect(source: PathOrFile, **kwargs) -> Graph:
+    """Parse a KONECT ``out.*`` file (``%`` comments, 1-based IDs)."""
+    kwargs.setdefault("comment", "%")
+    kwargs.setdefault("base", 1)
+    return read_edge_list(source, **kwargs)
+
+
+def write_edge_list(graph: Graph, target: PathOrFile) -> None:
+    """Write ``graph`` as a plain 0-based edge list, one edge per line."""
+    if isinstance(target, (str, os.PathLike)):
+        fh: IO[str] = open(target, "w", encoding="utf-8")
+        should_close = True
+    else:
+        fh, should_close = target, False
+    try:
+        fh.write(f"# n={graph.num_vertices} m={graph.num_edges}\n")
+        for u, v in graph.edges():
+            fh.write(f"{u} {v}\n")
+    finally:
+        if should_close:
+            fh.close()
+
+
+def edges_to_string(edges: Iterable[tuple[int, int]]) -> str:
+    """Render edges as edge-list text (handy in tests and examples)."""
+    buf = io.StringIO()
+    for u, v in edges:
+        buf.write(f"{u} {v}\n")
+    return buf.getvalue()

@@ -1,0 +1,54 @@
+"""Summary statistics of a graph (the columns of the paper's Table I).
+
+:class:`GraphStats` captures ``n``, ``m``, ``dmax``, the average degree
+and density; :func:`degree_histogram` supports the power-law shape checks
+used by the synthetic-dataset tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.adjacency import Graph
+
+__all__ = ["GraphStats", "graph_stats", "degree_histogram"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Immutable summary of a graph's size and degree structure."""
+
+    num_vertices: int
+    num_edges: int
+    max_degree: int
+    average_degree: float
+    density: float
+
+    def as_row(self) -> tuple:
+        """The values in Table I column order (n, m, dmax)."""
+        return (self.num_vertices, self.num_edges, self.max_degree)
+
+
+def graph_stats(graph: Graph) -> GraphStats:
+    """Compute :class:`GraphStats` for ``graph`` in one pass."""
+    n = graph.num_vertices
+    m = graph.num_edges
+    dmax = max((graph.degree(u) for u in graph.vertices()), default=0)
+    avg = (2.0 * m / n) if n else 0.0
+    density = (2.0 * m / (n * (n - 1))) if n > 1 else 0.0
+    return GraphStats(
+        num_vertices=n,
+        num_edges=m,
+        max_degree=dmax,
+        average_degree=avg,
+        density=density,
+    )
+
+
+def degree_histogram(graph: Graph) -> list[int]:
+    """``hist[d]`` = number of vertices with degree ``d``."""
+    dmax = max((graph.degree(u) for u in graph.vertices()), default=0)
+    hist = [0] * (dmax + 1)
+    for u in graph.vertices():
+        hist[graph.degree(u)] += 1
+    return hist

@@ -1,0 +1,95 @@
+"""Threshold graphs — where the domination pre-order is *total*.
+
+The paper's introduction singles out threshold graphs as the class the
+neighborhood-inclusion ("vicinal") pre-order characterizes: a graph is a
+threshold graph iff any two vertices are comparable under neighborhood
+inclusion (Mahadev & Peled).  They are the extreme case for the skyline:
+every vertex is comparable, so the skyline collapses to a single
+equivalence class.
+
+Provided here:
+
+* :func:`threshold_graph` — build one from a creation sequence
+  (``'i'`` = add an isolated vertex, ``'d'`` = add a dominating vertex);
+* :func:`is_threshold_graph` — recognition via iterated removal of
+  isolated/dominating vertices (linear-ish, degree-bucket based);
+* :func:`creation_sequence` — recover a creation sequence, or ``None``.
+
+Tests use these to validate the characterization against the domination
+predicates of :mod:`repro.core.domination`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ParameterError
+from repro.graph.adjacency import Graph
+from repro.graph.builder import GraphBuilder
+
+__all__ = ["threshold_graph", "is_threshold_graph", "creation_sequence"]
+
+
+def threshold_graph(sequence: str) -> Graph:
+    """Build the threshold graph of a creation sequence.
+
+    ``sequence[k]`` describes vertex ``k``: ``'i'`` arrives isolated,
+    ``'d'`` arrives dominating (adjacent to all earlier vertices).  The
+    first character is conventionally ``'i'`` (a single vertex is both).
+
+    >>> threshold_graph("iid").num_edges
+    2
+    """
+    builder = GraphBuilder(len(sequence))
+    for k, op in enumerate(sequence):
+        if op == "d":
+            for earlier in range(k):
+                builder.add_edge(earlier, k)
+        elif op != "i":
+            raise ParameterError(
+                f"creation sequence may contain only 'i'/'d', got {op!r}"
+            )
+    return builder.build()
+
+
+def creation_sequence(graph: Graph) -> Optional[str]:
+    """A creation sequence for ``graph``, or ``None`` if not threshold.
+
+    A graph is threshold iff it can be dismantled by repeatedly removing
+    a vertex that is either isolated or adjacent to every other
+    remaining vertex; the reversed removal order is a creation sequence.
+    Isolated vertices are always found at the low-degree end and
+    dominating vertices at the high-degree end, and both removal kinds
+    shift every remaining degree uniformly (a dominating removal by −1,
+    an isolated removal by 0), so one degree sort plus a global offset
+    suffices: ``O(n log n)``.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return ""
+    by_degree = sorted(graph.vertices(), key=lambda u: (graph.degree(u), u))
+    lo, hi = 0, n - 1
+    alive = n
+    dominating_removed = 0
+    removal_ops: list[str] = []
+    while alive > 0:
+        low_vertex = by_degree[lo]
+        if graph.degree(low_vertex) - dominating_removed == 0:
+            removal_ops.append("i")
+            lo += 1
+            alive -= 1
+            continue
+        high_vertex = by_degree[hi]
+        if graph.degree(high_vertex) - dominating_removed == alive - 1:
+            removal_ops.append("d")
+            hi -= 1
+            alive -= 1
+            dominating_removed += 1
+            continue
+        return None
+    return "".join(reversed(removal_ops))
+
+
+def is_threshold_graph(graph: Graph) -> bool:
+    """``True`` iff ``graph`` is a threshold graph."""
+    return creation_sequence(graph) is not None

@@ -1,0 +1,58 @@
+"""Twin-vertex detection — the equivalence classes of mutual inclusion.
+
+Two flavors, both linear-time by hashing sorted adjacency:
+
+* **false twins** — equal open neighborhoods, ``N(u) = N(v)`` (always
+  non-adjacent); these are exactly the distance-2 mutual inclusions of
+  Def. 2, and the classes the PLL label compression of
+  :mod:`repro.paths.labeling` shares labels across;
+* **true twins** — equal closed neighborhoods, ``N[u] = N[v]`` (always
+  adjacent); these are exactly the mutual *edge-constrained* inclusions
+  of Def. 5, i.e. the ties the filter phase breaks by ID.
+
+Within either kind of class, Def. 2's tie-break means the smallest-ID
+member dominates the rest — so every twin class contributes at most one
+vertex to the neighborhood skyline, which the tests cross-check.
+"""
+
+from __future__ import annotations
+
+from repro.graph.adjacency import Graph
+
+__all__ = ["false_twin_classes", "true_twin_classes", "twin_representatives"]
+
+
+def false_twin_classes(graph: Graph) -> list[list[int]]:
+    """Partition ``V`` by open neighborhood; singleton classes included.
+
+    Classes are sorted internally and ordered by their smallest member.
+    """
+    classes: dict[tuple[int, ...], list[int]] = {}
+    for u in graph.vertices():
+        classes.setdefault(tuple(graph.neighbors(u)), []).append(u)
+    return sorted(classes.values(), key=lambda cls: cls[0])
+
+
+def true_twin_classes(graph: Graph) -> list[list[int]]:
+    """Partition ``V`` by closed neighborhood; singleton classes included."""
+    classes: dict[tuple[int, ...], list[int]] = {}
+    for u in graph.vertices():
+        key = tuple(graph.closed_neighborhood(u))
+        classes.setdefault(key, []).append(u)
+    return sorted(classes.values(), key=lambda cls: cls[0])
+
+
+def twin_representatives(graph: Graph, *, closed: bool = False) -> list[int]:
+    """``rep[u]`` = smallest member of u's twin class.
+
+    ``closed=True`` groups by closed neighborhoods (true twins).
+    """
+    rep = [0] * graph.num_vertices
+    classes = (
+        true_twin_classes(graph) if closed else false_twin_classes(graph)
+    )
+    for cls in classes:
+        head = cls[0]
+        for u in cls:
+            rep[u] = head
+    return rep

@@ -1,0 +1,15 @@
+"""Measurement harness: timing, memory probes and report rendering."""
+
+from repro.harness.memory import format_bytes, measure_peak
+from repro.harness.runner import FigureReport
+from repro.harness.table import format_table
+from repro.harness.timer import Stopwatch, time_call
+
+__all__ = [
+    "format_bytes",
+    "measure_peak",
+    "FigureReport",
+    "format_table",
+    "Stopwatch",
+    "time_call",
+]

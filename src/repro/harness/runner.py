@@ -1,0 +1,65 @@
+"""Report collection for the figure/table benchmarks.
+
+Each benchmark module reproduces one paper artifact (a figure or a
+table).  A module-level :class:`FigureReport` accumulates rows as the
+parametrized benchmark tests run; ``benchmarks/conftest.py`` renders
+every populated report at the end of the session and writes it under
+``benchmarks/reports/``, so a full ``pytest benchmarks/ --benchmark-only``
+run leaves one text file per paper artifact.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.harness.table import format_table
+
+__all__ = ["FigureReport"]
+
+
+@dataclass
+class FigureReport:
+    """Accumulates rows for one paper figure/table and renders them."""
+
+    artifact: str  # e.g. "Figure 3"
+    title: str
+    headers: Sequence[str]
+    rows: list = field(default_factory=list)
+    notes: list = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        """Append one result row (cells follow ``headers`` order)."""
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        """Append a free-text note rendered under the table.
+
+        Idempotent: benchmarks add their note from whichever
+        parametrized test happens to complete a row last, which can
+        fire more than once.
+        """
+        if note not in self.notes:
+            self.notes.append(note)
+
+    def render(self) -> str:
+        """The complete report as text."""
+        header = f"== {self.artifact}: {self.title} =="
+        body = format_table(self.headers, self.rows)
+        parts = [header, body]
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts) + "\n"
+
+    def write(self, directory: str) -> str:
+        """Write the rendered report into ``directory``; returns the path."""
+        os.makedirs(directory, exist_ok=True)
+        slug = (
+            self.artifact.lower().replace(" ", "_").replace("/", "-")
+        )
+        path = os.path.join(directory, f"{slug}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.render())
+        return path

@@ -1,0 +1,63 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark suite regenerates each of the paper's tables/figures as an
+ASCII table; this module is the single formatter so every report looks
+the same.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table"]
+
+
+def _render(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str = "",
+) -> str:
+    """Render ``rows`` under ``headers`` with aligned columns.
+
+    Numbers are right-aligned and thousands-separated; everything else
+    is left-aligned.  An optional ``title`` line is prepended.
+    """
+    rendered = [[_render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str], original: Sequence[Any]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            numeric = isinstance(original[i], (int, float))
+            parts.append(
+                cell.rjust(widths[i]) if numeric else cell.ljust(widths[i])
+            )
+        return "  ".join(parts).rstrip()
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers, [""] * len(headers)))
+    lines.append(sep)
+    for raw, row in zip(rows, rendered):
+        lines.append(fmt_row(row, raw))
+    return "\n".join(lines)

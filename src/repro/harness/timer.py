@@ -1,0 +1,43 @@
+"""Wall-clock timing helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Stopwatch", "time_call"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch, usable as a context manager.
+
+    >>> sw = Stopwatch()
+    >>> with sw.measure():
+    ...     _ = sum(range(1000))
+    >>> sw.elapsed > 0
+    True
+    """
+
+    elapsed: float = 0.0
+    laps: list = field(default_factory=list)
+
+    @contextmanager
+    def measure(self):
+        """Context manager: time the enclosed block and record a lap."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            lap = time.perf_counter() - start
+            self.elapsed += lap
+            self.laps.append(lap)
+
+
+def time_call(fn: Callable[..., Any], *args, **kwargs) -> tuple[Any, float]:
+    """Run ``fn`` once; return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start

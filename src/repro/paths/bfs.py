@@ -1,0 +1,70 @@
+"""Breadth-first-search primitives.
+
+Unweighted shortest-path distances are the substrate of both group
+centrality measures (Defs. 6–9 of the paper).  Two entry points:
+
+* :func:`bfs_distances` — single-source distances (one row of the
+  distance oracle);
+* :func:`multi_source_distances` — distances to a *set* ``S``, i.e.
+  ``d(v, S) = min_{s∈S} d(v, s)``, computed with one BFS seeded with all
+  of ``S`` at level 0.
+
+Distances use ``-1`` as the "unreachable" sentinel internally (arrays of
+ints are much lighter than float ``inf`` in hot loops); the distance
+helpers in :mod:`repro.paths.distances` translate to ``math.inf`` at the
+API boundary.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.graph.adjacency import Graph
+
+__all__ = ["bfs_distances", "multi_source_distances", "eccentricity"]
+
+UNREACHED = -1
+
+
+def bfs_distances(graph: Graph, source: int) -> list[int]:
+    """Distances from ``source`` to every vertex; ``-1`` if unreachable."""
+    dist = [UNREACHED] * graph.num_vertices
+    dist[source] = 0
+    queue = deque((source,))
+    neighbors = graph.neighbors
+    while queue:
+        u = queue.popleft()
+        next_level = dist[u] + 1
+        for v in neighbors(u):
+            if dist[v] == UNREACHED:
+                dist[v] = next_level
+                queue.append(v)
+    return dist
+
+
+def multi_source_distances(graph: Graph, sources: Iterable[int]) -> list[int]:
+    """``dist[v] = min over s in sources of d(v, s)``; ``-1`` unreachable.
+
+    An empty source set yields all ``-1``.
+    """
+    dist = [UNREACHED] * graph.num_vertices
+    queue: deque[int] = deque()
+    for s in sources:
+        if dist[s] != 0:
+            dist[s] = 0
+            queue.append(s)
+    neighbors = graph.neighbors
+    while queue:
+        u = queue.popleft()
+        next_level = dist[u] + 1
+        for v in neighbors(u):
+            if dist[v] == UNREACHED:
+                dist[v] = next_level
+                queue.append(v)
+    return dist
+
+
+def eccentricity(graph: Graph, source: int) -> int:
+    """Largest finite distance from ``source`` (0 for a lone vertex)."""
+    return max(bfs_distances(graph, source))

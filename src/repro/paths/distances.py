@@ -1,0 +1,37 @@
+"""Distance helpers expressed in the paper's notation.
+
+Thin wrappers over the BFS primitives that speak ``math.inf`` instead of
+the internal ``-1`` sentinel: ``d(u, v)``, ``d(u, S)`` and the full
+distance profile of a set.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.graph.adjacency import Graph
+from repro.paths.bfs import UNREACHED, bfs_distances, multi_source_distances
+
+__all__ = ["distance", "set_distance", "set_distance_profile"]
+
+
+def distance(graph: Graph, u: int, v: int) -> float:
+    """Shortest-path distance ``d(u, v)``; ``math.inf`` if disconnected."""
+    d = bfs_distances(graph, u)[v]
+    return math.inf if d == UNREACHED else float(d)
+
+
+def set_distance(graph: Graph, u: int, group: Iterable[int]) -> float:
+    """``d(u, S) = min_{s∈S} d(u, s)``; ``math.inf`` for an empty or
+    unreachable group."""
+    d = multi_source_distances(graph, group)[u]
+    return math.inf if d == UNREACHED else float(d)
+
+
+def set_distance_profile(graph: Graph, group: Iterable[int]) -> list[float]:
+    """``profile[v] = d(v, S)`` for every vertex, with ``math.inf`` holes."""
+    return [
+        math.inf if d == UNREACHED else float(d)
+        for d in multi_source_distances(graph, group)
+    ]

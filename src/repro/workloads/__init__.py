@@ -1,0 +1,21 @@
+"""Named datasets: embedded real graphs and seeded synthetic stand-ins."""
+
+from repro.workloads.bombing import bombing_proxy
+from repro.workloads.registry import (
+    TABLE1_NAMES,
+    DatasetSpec,
+    PaperStats,
+    load,
+    names,
+    spec,
+)
+
+__all__ = [
+    "bombing_proxy",
+    "TABLE1_NAMES",
+    "DatasetSpec",
+    "PaperStats",
+    "load",
+    "names",
+    "spec",
+]

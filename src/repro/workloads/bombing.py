@@ -1,0 +1,48 @@
+"""Proxy for the Madrid train-bombing contact network (Fig. 13b).
+
+The original is a 64-vertex, 243-edge network of contacts between
+suspects of the 2004 Madrid attack (KONECT).  The raw data is not
+embedded here; the case study uses two properties — the size/density and
+a hub-heavy contact structure in which low-degree members are dominated
+(the paper reports a 20-vertex skyline, 31 %) — so the proxy is a seeded
+copying-model graph densified to exactly 243 edges on 64 vertices, with
+parameters chosen so FilterRefineSky finds a skyline of 21 vertices
+(33 %).  DESIGN.md §3 records the substitution.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.adjacency import Graph
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import copying_power_law
+
+__all__ = ["bombing_proxy", "BOMBING_N", "BOMBING_M"]
+
+BOMBING_N = 64
+BOMBING_M = 243
+_SEED = 3
+
+
+def bombing_proxy() -> Graph:
+    """A deterministic 64-vertex, 243-edge hub-heavy contact proxy."""
+    base = copying_power_law(
+        BOMBING_N, 1.4, 0.9, max_out_degree=14, seed=_SEED
+    )
+    rng = random.Random(_SEED)
+    builder = GraphBuilder(BOMBING_N)
+    edges = list(base.edges())
+    if len(edges) >= BOMBING_M:
+        rng.shuffle(edges)
+        builder.add_edges(edges[:BOMBING_M])
+    else:
+        builder.add_edges(edges)
+        # Densify with degree-biased extra contacts until the count fits.
+        weighted = [x for edge in edges for x in edge]
+        while builder.num_edges < BOMBING_M:
+            u = rng.choice(weighted)
+            v = rng.choice(weighted)
+            if u != v and not builder.has_edge(u, v):
+                builder.add_edge(u, v)
+    return builder.build()

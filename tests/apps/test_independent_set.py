@@ -1,0 +1,134 @@
+"""Tests for the MIS reducing-peeling pipeline."""
+
+import pytest
+
+from repro.apps.independent_set import (
+    exact_maximum_independent_set,
+    is_independent_set,
+    near_maximum_independent_set,
+    reduce_graph,
+)
+from repro.graph.adjacency import Graph
+from repro.graph.generators import (
+    complete_graph,
+    copying_power_law,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+
+
+def nx_mis_size(g):
+    """Exact MIS size via networkx complement cliques (small graphs)."""
+    nx = __import__("networkx")
+    G = nx.Graph()
+    G.add_nodes_from(range(g.num_vertices))
+    G.add_edges_from(g.edges())
+    H = nx.complement(G)
+    return max((len(c) for c in nx.find_cliques(H)), default=0)
+
+
+class TestPredicates:
+    def test_is_independent(self, p6):
+        assert is_independent_set(p6, [0, 2, 4])
+        assert not is_independent_set(p6, [0, 1])
+        assert is_independent_set(p6, [])
+
+
+class TestReductions:
+    def test_isolated_taken(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        taken, _removed = reduce_graph(g)
+        assert 2 in taken
+
+    def test_pendant_taken_neighbor_removed(self):
+        g = path_graph(2)
+        taken, removed = reduce_graph(g)
+        assert taken == {0} or taken == {1}
+        assert len(removed) == 1
+
+    def test_path_fully_reduced(self):
+        taken, removed = reduce_graph(path_graph(6))
+        # Peeling pendants solves paths outright.
+        assert is_independent_set(path_graph(6), taken)
+        assert len(taken) == 3
+
+    def test_star_reduced_to_leaves(self, star7):
+        taken, removed = reduce_graph(star7)
+        assert taken == {1, 2, 3, 4, 5, 6}
+        assert removed == {0}
+
+    def test_domination_rule_fires_on_clique(self):
+        g = complete_graph(4)
+        taken, removed = reduce_graph(g)
+        # Mutual domination peels dominators until one vertex remains,
+        # which is then isolated and taken.
+        assert len(taken) == 1
+        assert len(removed) == 3
+
+    def test_taken_is_independent(self):
+        for seed in range(6):
+            g = erdos_renyi(25, 0.15, seed=seed)
+            taken, _ = reduce_graph(g)
+            assert is_independent_set(g, taken)
+
+    def test_reductions_preserve_optimality(self):
+        # Reduced decisions must be extendable to an optimum: solve the
+        # kernel exactly and compare with the exact MIS of the whole.
+        for seed in range(8):
+            g = erdos_renyi(16, 0.25, seed=seed)
+            taken, removed = reduce_graph(g)
+            blocked = set(removed) | set(taken)
+            for u in taken:
+                blocked.update(g.neighbors(u))
+            kernel_vertices = [
+                u for u in g.vertices() if u not in blocked
+            ]
+            kernel, mapping = g.induced_subgraph(kernel_vertices)
+            kernel_best = exact_maximum_independent_set(kernel)
+            achieved = len(taken) + len(kernel_best)
+            assert achieved == nx_mis_size(g), seed
+
+
+class TestHeuristic:
+    def test_returns_independent_set(self):
+        for seed in range(6):
+            g = copying_power_law(60, 2.5, 0.85, seed=seed)
+            result = near_maximum_independent_set(g)
+            assert is_independent_set(g, result)
+
+    def test_result_is_maximal(self):
+        for seed in range(4):
+            g = erdos_renyi(25, 0.2, seed=seed)
+            result = near_maximum_independent_set(g)
+            for u in g.vertices():
+                if u not in result:
+                    assert any(
+                        g.has_edge(u, v) for v in result
+                    ), f"{u} could extend the set"
+
+    def test_near_optimal_on_small_graphs(self):
+        for seed in range(8):
+            g = erdos_renyi(18, 0.25, seed=seed)
+            ours = len(near_maximum_independent_set(g))
+            best = nx_mis_size(g)
+            assert ours >= 0.85 * best, (seed, ours, best)
+
+    def test_cycle(self):
+        result = near_maximum_independent_set(cycle_graph(9))
+        assert len(result) == 4  # floor(9/2)
+
+
+class TestExact:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_networkx(self, seed):
+        g = erdos_renyi(14, 0.3, seed=seed)
+        ours = exact_maximum_independent_set(g)
+        assert is_independent_set(g, ours)
+        assert len(ours) == nx_mis_size(g)
+
+    def test_structured(self):
+        assert len(exact_maximum_independent_set(complete_graph(5))) == 1
+        assert len(exact_maximum_independent_set(path_graph(5))) == 3
+        assert len(exact_maximum_independent_set(cycle_graph(6))) == 3

@@ -1,0 +1,69 @@
+"""Tests for the single-hash bloom filter."""
+
+import pytest
+
+from repro.bloom.filter import BloomFilter
+from repro.errors import ParameterError
+
+
+def test_no_false_negatives():
+    bf = BloomFilter.from_elements(range(50), bits=256)
+    assert all(bf.might_contain(x) for x in range(50))
+
+
+def test_empty_filter_contains_nothing():
+    bf = BloomFilter(64)
+    assert not any(bf.might_contain(x) for x in range(100))
+
+
+def test_contains_dunder():
+    bf = BloomFilter.from_elements([3], bits=64)
+    assert 3 in bf
+
+
+def test_subset_soundness():
+    # A true subset relation always passes the filter check.
+    big = BloomFilter.from_elements(range(30), bits=512)
+    small = BloomFilter.from_elements(range(10), bits=512)
+    assert small.is_subset_of(big)
+
+
+def test_subset_rejection_is_definitive():
+    # If the check fails, the sets are provably not nested.
+    a = BloomFilter.from_elements([1, 2, 3], bits=4096)
+    b = BloomFilter.from_elements([4, 5], bits=4096)
+    if not a.is_subset_of(b):
+        # With a wide filter this will essentially always trigger, and
+        # the ground truth agrees.
+        assert not {1, 2, 3} <= {4, 5}
+
+
+def test_popcount_bounds():
+    bf = BloomFilter.from_elements(range(10), bits=1024)
+    assert 1 <= bf.popcount <= 10
+
+
+def test_popcount_saturates_on_narrow_filter():
+    bf = BloomFilter.from_elements(range(1000), bits=32)
+    assert bf.popcount <= 32
+
+
+def test_width_validation():
+    with pytest.raises(ParameterError):
+        BloomFilter(0)
+    with pytest.raises(ParameterError):
+        BloomFilter(33)  # not a multiple of 32
+    with pytest.raises(ParameterError):
+        BloomFilter(-64)
+
+
+def test_custom_hash_function_used():
+    constant_hash = lambda x: 7  # noqa: E731 - deliberate degenerate hash
+    bf = BloomFilter.from_elements([1, 2, 3], bits=32, hash_fn=constant_hash)
+    assert bf.popcount == 1
+    assert bf.might_contain(999)  # everything collides by construction
+
+
+def test_repr():
+    bf = BloomFilter.from_elements([1], bits=64)
+    assert "bits=64" in repr(bf)

@@ -1,0 +1,43 @@
+"""Tests for the SplitMix64 hash family."""
+
+from repro.bloom.hashing import make_hash, splitmix64
+
+
+def test_deterministic():
+    assert splitmix64(42) == splitmix64(42)
+
+
+def test_stays_in_64_bits():
+    for x in (0, 1, 2**63, 2**64 - 1, 123456789):
+        assert 0 <= splitmix64(x) < 2**64
+
+
+def test_no_collisions_on_small_range():
+    outputs = {splitmix64(x) for x in range(10_000)}
+    assert len(outputs) == 10_000  # a bijection restricted to the range
+
+
+def test_avalanche_on_single_bit_flip():
+    a = splitmix64(0b1000)
+    b = splitmix64(0b1001)
+    differing = (a ^ b).bit_count()
+    assert differing > 16  # strong diffusion
+
+
+def test_make_hash_seeds_differ():
+    h0, h1 = make_hash(0), make_hash(1)
+    same = sum(1 for x in range(200) if h0(x) == h1(x))
+    assert same == 0
+
+
+def test_make_hash_deterministic_across_instances():
+    assert make_hash(7)(99) == make_hash(7)(99)
+
+
+def test_distribution_roughly_uniform_mod_small():
+    h = make_hash(0)
+    buckets = [0] * 16
+    for x in range(4096):
+        buckets[h(x) % 16] += 1
+    expected = 4096 / 16
+    assert all(0.7 * expected < b < 1.3 * expected for b in buckets)

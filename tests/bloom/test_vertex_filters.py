@@ -1,0 +1,99 @@
+"""Tests for the shared-width per-vertex bloom index."""
+
+import pytest
+
+from repro.bloom.vertex_filters import VertexBloomIndex, width_for_max_degree
+from repro.errors import ParameterError
+from repro.graph.adjacency import Graph
+from repro.graph.generators import complete_graph, star_graph
+
+
+class TestWidth:
+    def test_multiple_of_32(self):
+        for dmax in (1, 3, 7, 100, 1000):
+            assert width_for_max_degree(dmax) % 32 == 0
+
+    def test_floor_of_32(self):
+        assert width_for_max_degree(0) == 32
+        assert width_for_max_degree(1) == 32
+
+    def test_scales_with_degree(self):
+        assert width_for_max_degree(100) >= 800
+
+    def test_bits_per_element_knob(self):
+        assert width_for_max_degree(100, 16) >= 2 * width_for_max_degree(
+            100, 8
+        ) - 32
+
+    def test_invalid_bits_per_element(self):
+        with pytest.raises(ParameterError):
+            width_for_max_degree(10, 0)
+
+
+class TestIndex:
+    def test_membership_no_false_negatives(self, karate):
+        idx = VertexBloomIndex(karate, karate.vertices())
+        for u in karate.vertices():
+            for v in karate.neighbors(u):
+                assert idx.member_maybe(u, v)
+
+    def test_subset_soundness(self, star7):
+        # Every leaf's neighborhood {0} is a subset of every other
+        # leaf's neighborhood {0}.
+        idx = VertexBloomIndex(star7, star7.vertices())
+        assert idx.subset_maybe(1, 2)
+
+    def test_subset_reject_is_correct(self, karate):
+        idx = VertexBloomIndex(karate, karate.vertices(), bits=4096)
+        for u in (0, 1, 2):
+            for w in (31, 32, 33):
+                if not idx.subset_maybe(u, w):
+                    nu = set(karate.neighbors(u))
+                    nw = set(karate.neighbors(w))
+                    assert not nu <= nw
+
+    def test_partial_vertex_selection(self, k5):
+        idx = VertexBloomIndex(k5, [0, 2])
+        assert idx.has_filter(0)
+        assert not idx.has_filter(1)
+        with pytest.raises(KeyError):
+            idx.filter_word(1)
+
+    def test_len_counts_filters(self, k5):
+        assert len(VertexBloomIndex(k5, [0, 1, 2])) == 3
+
+    def test_memory_accounting(self, k5):
+        idx = VertexBloomIndex(k5, [0, 1], bits=64)
+        assert idx.memory_bits() == 128
+
+    def test_explicit_width_respected(self, k5):
+        idx = VertexBloomIndex(k5, k5.vertices(), bits=96)
+        assert idx.bits == 96
+
+    def test_invalid_width(self, k5):
+        with pytest.raises(ParameterError):
+            VertexBloomIndex(k5, [0], bits=33)
+
+    def test_different_seeds_give_different_layouts(self, karate):
+        a = VertexBloomIndex(karate, [0], seed=0)
+        b = VertexBloomIndex(karate, [0], seed=1)
+        assert a.filter_word(0) != b.filter_word(0)
+
+    def test_bit_masks_single_bits(self, k5):
+        idx = VertexBloomIndex(k5, [0])
+        for mask in idx.bit_masks:
+            assert mask.bit_count() == 1
+
+    def test_empty_neighborhood_filter_is_zero(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        idx = VertexBloomIndex(g, g.vertices())
+        assert idx.filter_word(2) == 0
+
+    def test_complete_graph_mutual_subsets_modulo_self(self):
+        g = complete_graph(4)
+        idx = VertexBloomIndex(g, g.vertices(), bits=1024)
+        # N(0) = {1,2,3}, N(1) = {0,2,3}: not subsets of each other.
+        # The filter may claim "maybe" but must agree on true subsets:
+        # here we just verify no crash and self-subset holds.
+        for u in g.vertices():
+            assert idx.subset_maybe(u, u)

@@ -1,0 +1,115 @@
+"""Tests for vertex/group closeness, harmonic and betweenness measures."""
+
+import pytest
+
+from repro.centrality.betweenness import betweenness_centrality
+from repro.centrality.closeness import (
+    closeness_centrality,
+    group_closeness,
+    group_farness,
+)
+from repro.centrality.harmonic import group_harmonic, harmonic_centrality
+from repro.graph.generators import (
+    complete_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+
+
+class TestCloseness:
+    def test_star_center_max(self, star7):
+        scores = [closeness_centrality(star7, u) for u in star7.vertices()]
+        assert scores[0] == max(scores)
+
+    def test_complete_graph_value(self):
+        g = complete_graph(5)
+        # Every distance is 1: C(u) = n / (n - 1).
+        assert closeness_centrality(g, 2) == pytest.approx(5 / 4)
+
+    def test_single_vertex_graph(self):
+        from repro.graph.adjacency import Graph
+
+        assert closeness_centrality(Graph.from_edges(1, []), 0) == 0.0
+
+    def test_penalty_for_unreachable(self, disconnected):
+        # Vertex 0 reaches only its triangle; the other six vertices
+        # contribute the n-penalty each.
+        n = disconnected.num_vertices
+        value = closeness_centrality(disconnected, 0)
+        assert value == pytest.approx(n / (1 + 1 + 6 * n))
+
+
+class TestGroupCloseness:
+    def test_matches_definition_on_path(self, p6):
+        # S = {0}: farness = 1+2+3+4+5 = 15, GC = 6/15.
+        assert group_closeness(p6, [0]) == pytest.approx(6 / 15)
+
+    def test_group_of_everything_is_zero(self, p6):
+        assert group_closeness(p6, list(range(6))) == 0.0
+
+    def test_empty_group_is_zero(self, p6):
+        assert group_closeness(p6, []) == 0.0
+
+    def test_monotone_under_addition(self, karate):
+        base = group_closeness(karate, [0])
+        bigger = group_closeness(karate, [0, 33])
+        assert bigger >= base
+
+    def test_farness_consistency(self, karate):
+        group = [0, 33]
+        gc = group_closeness(karate, group)
+        f = group_farness(karate, group)
+        assert gc == pytest.approx(karate.num_vertices / f)
+
+
+class TestHarmonic:
+    def test_matches_networkx(self, karate):
+        nx = __import__("networkx")
+        G = nx.Graph(karate.edges())
+        expected = nx.harmonic_centrality(G)
+        for u in (0, 5, 33):
+            assert harmonic_centrality(karate, u) == pytest.approx(
+                expected[u]
+            )
+
+    def test_disconnected_contributes_zero(self, disconnected):
+        # Vertex 0 sees only its triangle partners at distance 1.
+        assert harmonic_centrality(disconnected, 0) == pytest.approx(2.0)
+
+    def test_group_harmonic_single_matches_vertex(self, p6):
+        assert group_harmonic(p6, [2]) == pytest.approx(
+            harmonic_centrality(p6, 2)
+        )
+
+    def test_group_harmonic_can_decrease(self):
+        # Adding a vertex deletes its own term: GH is not monotone.
+        g = path_graph(2)
+        assert group_harmonic(g, [0]) == pytest.approx(1.0)
+        assert group_harmonic(g, [0, 1]) == 0.0
+
+    def test_group_harmonic_empty(self, p6):
+        assert group_harmonic(p6, []) == 0.0
+
+
+class TestBetweenness:
+    def test_matches_networkx_on_random_graphs(self):
+        nx = __import__("networkx")
+        for seed in range(4):
+            g = erdos_renyi(22, 0.2, seed=seed)
+            G = nx.Graph()
+            G.add_nodes_from(range(22))
+            G.add_edges_from(g.edges())
+            expected = nx.betweenness_centrality(G, normalized=False)
+            ours = betweenness_centrality(g)
+            for v in range(22):
+                assert ours[v] == pytest.approx(expected[v], abs=1e-9)
+
+    def test_normalized_star(self, star7):
+        scores = betweenness_centrality(star7, normalized=True)
+        assert scores[0] == pytest.approx(1.0)
+        assert scores[1] == 0.0
+
+    def test_path_midpoint_dominates(self, p6):
+        scores = betweenness_centrality(p6)
+        assert scores[2] == max(scores)

@@ -1,0 +1,163 @@
+"""Tests for the maximum-clique solvers."""
+
+import pytest
+
+from repro.clique.branch_bound import base_mcc
+from repro.clique.mcbrb import (
+    greedy_heuristic_clique,
+    max_clique_with_root,
+    mc_brb,
+)
+from repro.clique.neisky import neisky_mc
+from repro.clique.verify import is_clique, is_maximal_clique
+from repro.graph.adjacency import Graph
+from repro.graph.generators import (
+    complete_graph,
+    copying_power_law,
+    cycle_graph,
+    empty_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+
+
+def nx_omega(g):
+    nx = __import__("networkx")
+    G = nx.Graph()
+    G.add_nodes_from(range(g.num_vertices))
+    G.add_edges_from(g.edges())
+    if G.number_of_nodes() == 0:
+        return 0
+    return max(len(c) for c in nx.find_cliques(G))
+
+
+ALL_SOLVERS = [base_mcc, mc_brb, neisky_mc]
+
+
+class TestStructuredGraphs:
+    @pytest.mark.parametrize("solver", ALL_SOLVERS)
+    def test_complete_graph(self, solver):
+        assert solver(complete_graph(7)) == list(range(7))
+
+    @pytest.mark.parametrize("solver", ALL_SOLVERS)
+    def test_path(self, solver):
+        assert len(solver(path_graph(6))) == 2
+
+    @pytest.mark.parametrize("solver", ALL_SOLVERS)
+    def test_cycle(self, solver):
+        assert len(solver(cycle_graph(7))) == 2
+
+    @pytest.mark.parametrize("solver", ALL_SOLVERS)
+    def test_star(self, solver):
+        assert len(solver(star_graph(6))) == 2
+
+    @pytest.mark.parametrize("solver", ALL_SOLVERS)
+    def test_empty_graph(self, solver):
+        assert solver(empty_graph(0)) == []
+
+    @pytest.mark.parametrize("solver", ALL_SOLVERS)
+    def test_edgeless_graph(self, solver):
+        result = solver(empty_graph(4))
+        assert len(result) == 1
+
+    @pytest.mark.parametrize("solver", ALL_SOLVERS)
+    def test_karate(self, karate, solver):
+        clique = solver(karate)
+        assert is_clique(karate, clique)
+        assert len(clique) == 5  # the known ω of the karate club
+
+
+class TestRandomGraphs:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_er_matches_networkx(self, seed):
+        g = erdos_renyi(26, 0.3, seed=seed)
+        expected = nx_omega(g)
+        for solver in ALL_SOLVERS:
+            clique = solver(g)
+            assert is_clique(g, clique)
+            assert len(clique) == expected
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_power_law_matches_networkx(self, seed):
+        g = copying_power_law(120, 2.3, 0.8, seed=seed)
+        expected = nx_omega(g)
+        assert len(mc_brb(g)) == expected
+        assert len(neisky_mc(g)) == expected
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_results_are_maximal(self, seed):
+        g = erdos_renyi(24, 0.35, seed=seed)
+        for solver in (mc_brb, neisky_mc):
+            assert is_maximal_clique(g, solver(g))
+
+
+class TestHeuristic:
+    def test_returns_a_clique(self, karate):
+        clique = greedy_heuristic_clique(karate)
+        assert is_clique(karate, clique)
+        assert clique
+
+    def test_good_on_planted_clique(self):
+        from repro.workloads.synthetic import plant_cliques
+
+        g = plant_cliques(erdos_renyi(80, 0.05, seed=1), [12], seed=2)
+        assert len(greedy_heuristic_clique(g)) >= 8
+
+    def test_empty_graph(self):
+        assert greedy_heuristic_clique(empty_graph(0)) == []
+
+
+class TestRootedSearch:
+    def test_contains_root(self, karate):
+        for root in (0, 16, 33):
+            clique = max_clique_with_root(karate, root)
+            assert root in clique
+            assert is_clique(karate, clique)
+
+    def test_isolated_root(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        assert max_clique_with_root(g, 2) == [2]
+
+    def test_maximum_among_containing(self, karate):
+        # MC(root) must match brute force over networkx cliques.
+        nx = __import__("networkx")
+        G = nx.Graph(karate.edges())
+        cliques = list(nx.find_cliques(G))
+        for root in (0, 5, 33):
+            expected = max(len(c) for c in cliques if root in c)
+            assert len(max_clique_with_root(karate, root)) == expected
+
+    def test_lower_bound_truncates(self, karate):
+        # With an unbeatable floor the search returns just the root.
+        assert max_clique_with_root(karate, 0, lower_bound=34) == [0]
+
+    def test_shared_adjacency_reused(self, karate):
+        adjacency = [set(karate.neighbors(u)) for u in karate.vertices()]
+        a = max_clique_with_root(karate, 0, adjacency=adjacency)
+        b = max_clique_with_root(karate, 0)
+        assert a == b
+
+
+class TestNeiskyMc:
+    def test_accepts_precomputed_skyline(self, karate):
+        from repro.core.filter_refine import filter_refine_sky
+
+        skyline = filter_refine_sky(karate).skyline
+        assert neisky_mc(karate, skyline=skyline) == neisky_mc(karate)
+
+    def test_some_max_clique_hits_skyline(self, small_power_law):
+        # The justification of Algorithm 5, checked directly.
+        from repro.core.filter_refine import filter_refine_sky
+
+        nx = __import__("networkx")
+        g = small_power_law
+        skyline = set(filter_refine_sky(g).skyline)
+        G = nx.Graph()
+        G.add_nodes_from(range(g.num_vertices))
+        G.add_edges_from(g.edges())
+        omega = max(len(c) for c in nx.find_cliques(G))
+        assert any(
+            len(c) == omega and skyline & set(c)
+            for c in nx.find_cliques(G)
+        )

@@ -1,0 +1,121 @@
+"""Tests for clique verification predicates and degeneracy ordering."""
+
+import pytest
+
+from repro.clique.ordering import core_numbers, degeneracy_ordering
+from repro.clique.verify import is_clique, is_maximal_clique
+from repro.graph.adjacency import Graph
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+
+
+class TestIsClique:
+    def test_empty_set(self, karate):
+        assert is_clique(karate, [])
+
+    def test_single_vertex(self, karate):
+        assert is_clique(karate, [7])
+
+    def test_edge(self, karate):
+        assert is_clique(karate, [0, 1])
+
+    def test_triangle(self, karate):
+        assert is_clique(karate, [0, 1, 2])
+
+    def test_non_clique(self, p6):
+        assert not is_clique(p6, [0, 1, 2])
+
+    def test_duplicates_collapse(self, karate):
+        assert is_clique(karate, [0, 0, 1])
+
+
+class TestIsMaximalClique:
+    def test_maximum_is_maximal(self, k5):
+        assert is_maximal_clique(k5, list(range(5)))
+
+    def test_extendable_clique_not_maximal(self, k5):
+        assert not is_maximal_clique(k5, [0, 1])
+
+    def test_non_clique_not_maximal(self, p6):
+        assert not is_maximal_clique(p6, [0, 2])
+
+    def test_isolated_vertex_is_maximal(self):
+        g = Graph.from_edges(2, [])
+        assert is_maximal_clique(g, [0])
+
+    def test_empty_set_only_for_empty_graph(self, k5):
+        assert not is_maximal_clique(k5, [])
+        assert is_maximal_clique(empty_graph(0), [])
+
+    def test_agrees_with_networkx(self):
+        nx = __import__("networkx")
+        g = erdos_renyi(18, 0.35, seed=3)
+        G = nx.Graph()
+        G.add_nodes_from(range(18))
+        G.add_edges_from(g.edges())
+        for clique in nx.find_cliques(G):
+            assert is_maximal_clique(g, clique)
+
+
+class TestDegeneracyOrdering:
+    def test_order_is_permutation(self, karate):
+        order, _k = degeneracy_ordering(karate)
+        assert sorted(order) == list(karate.vertices())
+
+    def test_tree_degeneracy_one(self):
+        order, k = degeneracy_ordering(path_graph(10))
+        assert k == 1
+
+    def test_complete_graph_degeneracy(self):
+        _order, k = degeneracy_ordering(complete_graph(6))
+        assert k == 5
+
+    def test_cycle_degeneracy_two(self):
+        assert degeneracy_ordering(cycle_graph(8))[1] == 2
+
+    def test_empty_graph(self):
+        order, k = degeneracy_ordering(empty_graph(0))
+        assert order == []
+        assert k == 0
+
+    def test_karate_degeneracy(self, karate):
+        # Known value for Zachary's karate club.
+        assert degeneracy_ordering(karate)[1] == 4
+
+    def test_right_neighborhood_bound(self, small_power_law):
+        g = small_power_law
+        order, k = degeneracy_ordering(g)
+        rank = {u: i for i, u in enumerate(order)}
+        for u in g.vertices():
+            right = [v for v in g.neighbors(u) if rank[v] > rank[u]]
+            assert len(right) <= k
+
+
+class TestCoreNumbers:
+    def test_star_cores(self, star7):
+        cores = core_numbers(star7)
+        assert all(c == 1 for c in cores)
+
+    def test_complete_graph_cores(self):
+        assert core_numbers(complete_graph(5)) == [4] * 5
+
+    def test_max_core_equals_degeneracy(self, karate):
+        cores = core_numbers(karate)
+        assert max(cores) == degeneracy_ordering(karate)[1]
+
+    def test_matches_networkx(self, small_power_law):
+        nx = __import__("networkx")
+        g = small_power_law
+        G = nx.Graph()
+        G.add_nodes_from(range(g.num_vertices))
+        G.add_edges_from(g.edges())
+        expected = nx.core_number(G)
+        ours = core_numbers(g)
+        for v in g.vertices():
+            assert ours[v] == expected[v]

@@ -1,0 +1,93 @@
+"""Tests for the trie-based set-containment join."""
+
+import random
+
+import pytest
+
+from repro.containment.lcjoin import ContainmentJoin
+from repro.containment.records import RecordSet
+from repro.containment.trie import TrieJoin
+
+
+class TestBasics:
+    def setup_method(self):
+        self.data = RecordSet([
+            {1, 2, 3},
+            {2, 3},
+            {4},
+            {1, 2, 3, 4},
+            set(),
+        ])
+        self.trie = TrieJoin(self.data)
+
+    def test_simple_probe(self):
+        assert self.trie.containing_records((2, 3)) == [0, 1, 3]
+
+    def test_exact_match(self):
+        assert self.trie.containing_records((4,)) == [2, 3]
+
+    def test_no_match(self):
+        assert self.trie.containing_records((9,)) == []
+
+    def test_empty_probe_matches_everything(self):
+        assert self.trie.containing_records(()) == [0, 1, 2, 3, 4]
+
+    def test_empty_record_found_by_empty_probe_only(self):
+        assert 4 in self.trie.containing_records(())
+        assert 4 not in self.trie.containing_records((1,))
+
+    def test_limit(self):
+        limited = self.trie.containing_records((2, 3), limit=2)
+        assert len(limited) == 2
+        assert set(limited) <= {0, 1, 3}
+
+    def test_node_count_reflects_sharing(self):
+        # Shared prefixes keep the trie smaller than total elements + 1.
+        assert self.trie.node_count <= self.data.total_elements() + 1
+
+
+class TestCrossCheck:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agrees_with_crosscutting_join(self, seed):
+        rng = random.Random(seed)
+        records = [
+            {rng.randrange(20) for _ in range(rng.randrange(0, 8))}
+            for _ in range(50)
+        ]
+        data = RecordSet(records)
+        trie = TrieJoin(data)
+        crosscut = ContainmentJoin(data)
+        for probe_set in records[:20]:
+            probe = tuple(sorted(probe_set))
+            assert trie.containing_records(probe) == (
+                crosscut.containing_records(probe)
+            )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_agrees_with_bruteforce(self, seed):
+        rng = random.Random(100 + seed)
+        records = [
+            {rng.randrange(15) for _ in range(rng.randrange(1, 6))}
+            for _ in range(30)
+        ]
+        data = RecordSet(records)
+        trie = TrieJoin(data)
+        for _ in range(15):
+            probe_set = {rng.randrange(15) for _ in range(rng.randrange(0, 4))}
+            probe = tuple(sorted(probe_set))
+            expected = [
+                i for i, r in enumerate(records) if probe_set <= set(r)
+            ]
+            assert trie.containing_records(probe) == expected
+
+    def test_neighborhood_join_on_graph(self, karate):
+        # The skyline use case: probe open neighborhoods against closed
+        # neighborhoods; results must match the crosscutting join.
+        data = RecordSet.closed_neighborhoods(karate)
+        trie = TrieJoin(data)
+        crosscut = ContainmentJoin(data)
+        for u in karate.vertices():
+            probe = tuple(karate.neighbors(u))
+            assert trie.containing_records(probe) == (
+                crosscut.containing_records(probe)
+            )

@@ -1,0 +1,107 @@
+"""Cross-algorithm agreement: all six skyline algorithms, one answer.
+
+This is the central correctness test of the package: the naive
+transcription of Definition 3 is the ground truth, and BaseSky,
+FilterRefineSky, Base2Hop, BaseCSet and LC-Join must reproduce it
+exactly on every graph family the paper discusses.
+"""
+
+import pytest
+
+from repro.core.api import ALGORITHMS, neighborhood_skyline
+from repro.graph.adjacency import Graph
+from repro.graph.generators import (
+    barabasi_albert,
+    chung_lu_power_law,
+    complete_binary_tree,
+    copying_power_law,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+from repro.workloads.synthetic import attach_hub_satellites
+
+FAST_ALGORITHMS = [name for name in ALGORITHMS if name != "naive"]
+
+
+def assert_all_agree(graph):
+    reference = neighborhood_skyline(graph, "naive").skyline
+    for name in FAST_ALGORITHMS:
+        result = neighborhood_skyline(graph, name).skyline
+        assert result == reference, f"{name} disagrees with naive"
+    return reference
+
+
+@pytest.mark.parametrize("name", FAST_ALGORITHMS)
+def test_karate_agreement(karate, name):
+    reference = neighborhood_skyline(karate, "naive").skyline
+    assert neighborhood_skyline(karate, name).skyline == reference
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_erdos_renyi_agreement(seed):
+    assert_all_agree(erdos_renyi(35, 0.15, seed=seed))
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_dense_erdos_renyi_agreement(seed):
+    assert_all_agree(erdos_renyi(20, 0.5, seed=seed))
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_copying_model_agreement(seed):
+    assert_all_agree(copying_power_law(70, 2.5, 0.85, seed=seed))
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_copying_with_proto_links_agreement(seed):
+    assert_all_agree(
+        copying_power_law(60, 2.3, 0.8, proto_link_prob=0.6, seed=seed)
+    )
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_chung_lu_agreement(seed):
+    assert_all_agree(chung_lu_power_law(60, 2.7, seed=seed))
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_barabasi_albert_agreement(seed):
+    assert_all_agree(barabasi_albert(50, 2, seed=seed))
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_hub_satellite_agreement(seed):
+    backbone = copying_power_law(40, 2.5, 0.8, seed=seed)
+    assert_all_agree(attach_hub_satellites(backbone, 2, 20, seed=seed))
+
+
+def test_structured_graphs_agreement():
+    for g in (
+        path_graph(9),
+        cycle_graph(9),
+        star_graph(9),
+        complete_binary_tree(3),
+    ):
+        assert_all_agree(g)
+
+
+def test_graph_with_isolated_vertices():
+    g = Graph.from_edges(6, [(0, 1), (1, 2)])
+    reference = assert_all_agree(g)
+    # Isolated vertices stay in the skyline by convention.
+    assert 3 in reference and 4 in reference and 5 in reference
+
+
+def test_two_vertex_components():
+    g = Graph.from_edges(4, [(0, 1), (2, 3)])
+    reference = assert_all_agree(g)
+    # In each K2 the smaller ID wins the mutual tie.
+    assert reference == (0, 2)
+
+
+def test_empty_and_trivial_graphs():
+    assert_all_agree(Graph.from_edges(0, []))
+    assert_all_agree(Graph.from_edges(1, []))
+    assert_all_agree(Graph.from_edges(2, [(0, 1)]))

@@ -1,0 +1,109 @@
+"""Tests for the ε-approximate neighborhood skyline."""
+
+import pytest
+
+from repro.core.api import neighborhood_skyline
+from repro.core.approx import approx_skyline, epsilon_dominates
+from repro.core.domination import dominates, two_hop_neighbors
+from repro.errors import ParameterError
+from repro.graph.generators import (
+    copying_power_law,
+    erdos_renyi,
+    star_graph,
+)
+
+
+class TestEpsilonDominates:
+    def test_zero_matches_exact_definition(self):
+        for seed in range(5):
+            g = erdos_renyi(18, 0.25, seed=seed)
+            for u in g.vertices():
+                for v in two_hop_neighbors(g, u):
+                    assert epsilon_dominates(g, u, v, 0.0) == dominates(
+                        g, u, v
+                    ), (seed, u, v)
+
+    def test_inclusion_is_monotone_in_epsilon(self):
+        # ε-inclusion (not ε-domination!) is monotone: a covered
+        # neighborhood stays covered under a looser threshold.
+        from repro.core.approx import _eps_included
+
+        g = erdos_renyi(18, 0.25, seed=1)
+        for u in g.vertices():
+            for v in g.vertices():
+                if u == v:
+                    continue
+                if _eps_included(g, v, u, 0.0):
+                    assert _eps_included(g, v, u, 0.4)
+
+    def test_near_twin_detected_with_slack(self):
+        # A leaf of a star plus one extra private edge is not dominated
+        # exactly, but is ε-dominated by the hub for ε >= 1/2.
+        from repro.graph.adjacency import Graph
+
+        g = Graph.from_edges(6, [(0, 1), (0, 2), (0, 3), (0, 4), (1, 5)])
+        assert not dominates(g, 0, 1)
+        assert epsilon_dominates(g, 0, 1, 0.5)
+
+    def test_invalid_epsilon(self, karate):
+        with pytest.raises(ParameterError):
+            epsilon_dominates(karate, 0, 1, 1.0)
+        with pytest.raises(ParameterError):
+            epsilon_dominates(karate, 0, 1, -0.1)
+
+    def test_isolated_never_dominated(self):
+        from repro.graph.adjacency import Graph
+
+        g = Graph.from_edges(3, [(0, 1)])
+        assert not epsilon_dominates(g, 0, 2, 0.5)
+
+
+class TestApproxSkyline:
+    def test_epsilon_zero_is_exact(self):
+        for seed in range(6):
+            g = erdos_renyi(25, 0.2, seed=seed)
+            assert (
+                approx_skyline(g, 0.0).skyline
+                == neighborhood_skyline(g).skyline
+            )
+
+    def test_typically_shrinks_with_epsilon(self):
+        # Not a theorem (tie-break flips can re-admit vertices) but the
+        # dominant behaviour; pinned on a fixed seeded instance.
+        g = copying_power_law(100, 2.5, 0.8, seed=3)
+        sizes = [
+            approx_skyline(g, eps).size
+            for eps in (0.0, 0.2, 0.4, 0.6)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_members_are_truly_undominated(self):
+        g = erdos_renyi(22, 0.25, seed=4)
+        eps = 0.34
+        result = approx_skyline(g, eps)
+        for u in result.skyline:
+            for w in two_hop_neighbors(g, u):
+                assert not epsilon_dominates(g, w, u, eps), (u, w)
+
+    def test_excluded_have_epsilon_dominator(self):
+        g = erdos_renyi(22, 0.25, seed=5)
+        eps = 0.34
+        result = approx_skyline(g, eps)
+        members = result.skyline_set
+        for u in g.vertices():
+            if u not in members:
+                assert any(
+                    epsilon_dominates(g, w, u, eps)
+                    for w in two_hop_neighbors(g, u)
+                ), u
+
+    def test_star_collapses_fast(self, star7):
+        # Exact: hub only; any ε keeps the same answer here.
+        assert approx_skyline(star7, 0.3).skyline == (0,)
+
+    def test_algorithm_label_carries_epsilon(self, karate):
+        assert "0.25" in approx_skyline(karate, 0.25).algorithm
+
+    def test_invalid_epsilon(self, karate):
+        with pytest.raises(ParameterError):
+            approx_skyline(karate, 1.5)

@@ -1,0 +1,123 @@
+"""Tests for incremental skyline maintenance."""
+
+import random
+
+import pytest
+
+from repro.core.dynamic import DynamicSkyline
+from repro.core.filter_refine import filter_refine_sky
+from repro.errors import GraphFormatError
+from repro.graph.adjacency import Graph
+from repro.graph.generators import (
+    complete_graph,
+    copying_power_law,
+    erdos_renyi,
+    path_graph,
+)
+
+
+class TestBasics:
+    def test_initial_skyline_matches_static(self, karate):
+        assert DynamicSkyline(karate).skyline == (
+            filter_refine_sky(karate).skyline
+        )
+
+    def test_in_skyline(self, karate):
+        d = DynamicSkyline(karate)
+        members = set(d.skyline)
+        for u in karate.vertices():
+            assert d.in_skyline(u) == (u in members)
+
+    def test_to_graph_roundtrip(self, karate):
+        assert DynamicSkyline(karate).to_graph() == karate
+
+    def test_path_to_cycle(self):
+        d = DynamicSkyline(path_graph(5))
+        assert len(d.skyline) == 3
+        d.insert_edge(0, 4)
+        assert len(d.skyline) == 5  # C5: nobody dominated
+
+    def test_insert_then_delete_restores(self, karate):
+        d = DynamicSkyline(karate)
+        before = d.skyline
+        d.insert_edge(0, 33)  # the famous non-edge
+        d.delete_edge(0, 33)
+        assert d.skyline == before
+
+    def test_deleting_all_edges_leaves_everyone(self):
+        g = complete_graph(4)
+        d = DynamicSkyline(g)
+        assert d.skyline == (0,)
+        for u, v in list(g.edges()):
+            d.delete_edge(u, v)
+        assert d.skyline == (0, 1, 2, 3)  # isolated = skyline
+
+
+class TestValidation:
+    def test_duplicate_insert_rejected(self, karate):
+        d = DynamicSkyline(karate)
+        with pytest.raises(GraphFormatError, match="already"):
+            d.insert_edge(0, 1)
+
+    def test_missing_delete_rejected(self, karate):
+        d = DynamicSkyline(karate)
+        with pytest.raises(GraphFormatError, match="not present"):
+            d.delete_edge(0, 33)
+
+    def test_self_loop_rejected(self, karate):
+        d = DynamicSkyline(karate)
+        with pytest.raises(GraphFormatError, match="self-loop"):
+            d.insert_edge(3, 3)
+
+    def test_out_of_range_rejected(self, karate):
+        d = DynamicSkyline(karate)
+        with pytest.raises(GraphFormatError, match="out of range"):
+            d.insert_edge(0, 99)
+
+
+class TestAgainstRecompute:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_flip_sequence(self, seed):
+        n = 22
+        rng = random.Random(seed)
+        g = erdos_renyi(n, 0.12, seed=seed)
+        dynamic = DynamicSkyline(g)
+        edges = set(g.edges())
+        for _ in range(60):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v:
+                continue
+            edge = (min(u, v), max(u, v))
+            if edge in edges:
+                dynamic.delete_edge(*edge)
+                edges.discard(edge)
+            else:
+                dynamic.insert_edge(*edge)
+                edges.add(edge)
+            expected = filter_refine_sky(
+                Graph.from_edges(n, edges)
+            ).skyline
+            assert dynamic.skyline == expected
+
+    def test_batch_apply(self):
+        g = copying_power_law(40, 2.5, 0.8, seed=5)
+        dynamic = DynamicSkyline(g)
+        insertions = [(0, 39), (1, 38)]
+        insertions = [
+            (u, v) for u, v in insertions if not g.has_edge(u, v)
+        ]
+        dynamic.apply(insertions=insertions)
+        edges = set(g.edges()) | set(insertions)
+        expected = filter_refine_sky(
+            Graph.from_edges(40, edges)
+        ).skyline
+        assert dynamic.skyline == expected
+
+    def test_growing_from_empty(self):
+        from repro.graph.generators import empty_graph
+
+        target = erdos_renyi(15, 0.25, seed=9)
+        dynamic = DynamicSkyline(empty_graph(15))
+        for u, v in target.edges():
+            dynamic.insert_edge(u, v)
+        assert dynamic.skyline == filter_refine_sky(target).skyline

@@ -1,0 +1,83 @@
+"""Tests for the full dominance partial order (Brandes et al. view)."""
+
+import pytest
+
+from repro.core.domination import dominates, two_hop_neighbors
+from repro.core.naive import naive_skyline
+from repro.core.partial_order import (
+    dominance_dag,
+    dominance_pairs,
+    maximal_elements,
+    verify_transitive,
+)
+from repro.graph.generators import (
+    complete_graph,
+    copying_power_law,
+    erdos_renyi,
+    star_graph,
+)
+
+
+class TestPairs:
+    def test_star_pairs(self, star7):
+        pairs = set(dominance_pairs(star7))
+        # Hub dominates every leaf; leaf twins resolve to smallest ID.
+        for leaf in range(1, 7):
+            assert (0, leaf) in pairs
+        assert (1, 2) in pairs
+        assert (2, 1) not in pairs
+
+    def test_clique_pairs_form_chain(self):
+        g = complete_graph(4)
+        pairs = set(dominance_pairs(g))
+        assert pairs == {
+            (u, v) for u in range(4) for v in range(4) if u < v
+        }
+
+    def test_matches_pairwise_predicate(self):
+        for seed in range(6):
+            g = erdos_renyi(22, 0.2, seed=seed)
+            expected = {
+                (w, u)
+                for u in g.vertices()
+                for w in two_hop_neighbors(g, u)
+                if dominates(g, w, u)
+            }
+            assert set(dominance_pairs(g)) == expected, seed
+
+    def test_isolated_vertices_incomparable(self):
+        from repro.graph.adjacency import Graph
+
+        g = Graph.from_edges(4, [(0, 1)])
+        pairs = set(dominance_pairs(g))
+        assert all(2 not in pair and 3 not in pair for pair in pairs)
+
+
+class TestDag:
+    def test_transitively_closed(self):
+        for seed in range(5):
+            g = copying_power_law(40, 2.5, 0.85, seed=seed)
+            assert verify_transitive(g), seed
+
+    def test_acyclic(self):
+        g = copying_power_law(50, 2.5, 0.85, seed=3)
+        dag = dominance_dag(g)
+        # A strict order has no 2-cycles; transitivity + irreflexivity
+        # then exclude longer cycles.
+        for u, succs in dag.items():
+            for v in succs:
+                assert u not in dag[v]
+
+    def test_every_vertex_has_entry(self, karate):
+        dag = dominance_dag(karate)
+        assert set(dag) == set(karate.vertices())
+
+
+class TestMaximalElements:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_equals_skyline(self, seed):
+        g = erdos_renyi(25, 0.2, seed=seed)
+        assert maximal_elements(g) == naive_skyline(g).skyline
+
+    def test_karate(self, karate):
+        assert len(maximal_elements(karate)) == 15

@@ -1,0 +1,60 @@
+"""Tests for SkylineResult and SkylineCounters."""
+
+from repro.core.counters import SkylineCounters
+from repro.core.result import SkylineResult
+
+
+class TestSkylineResult:
+    def make(self):
+        return SkylineResult(
+            skyline=(0, 2),
+            dominator=(0, 0, 2),
+            candidates=(0, 1, 2),
+            algorithm="test",
+        )
+
+    def test_size(self):
+        assert self.make().size == 2
+
+    def test_candidate_size(self):
+        assert self.make().candidate_size == 3
+
+    def test_candidate_size_none_without_filter(self):
+        r = SkylineResult(skyline=(), dominator=(), candidates=None)
+        assert r.candidate_size is None
+
+    def test_skyline_set(self):
+        assert self.make().skyline_set == frozenset({0, 2})
+
+    def test_repr_contains_counts(self):
+        assert "|R|=2" in repr(self.make())
+        assert "|C|=3" in repr(self.make())
+
+    def test_equality_ignores_counters(self):
+        a = SkylineResult(
+            skyline=(0,), dominator=(0,), counters=SkylineCounters()
+        )
+        b = SkylineResult(skyline=(0,), dominator=(0,), counters=None)
+        assert a == b
+
+
+class TestSkylineCounters:
+    def test_as_dict_excludes_extra(self):
+        c = SkylineCounters()
+        c.pair_tests = 5
+        c.extra["something"] = 1
+        d = c.as_dict()
+        assert d["pair_tests"] == 5
+        assert "extra" not in d
+
+    def test_reset(self):
+        c = SkylineCounters()
+        c.pair_tests = 5
+        c.extra["x"] = 1
+        c.reset()
+        assert c.pair_tests == 0
+        assert c.extra == {}
+
+    def test_all_fields_are_ints_after_init(self):
+        c = SkylineCounters()
+        assert all(isinstance(v, int) for v in c.as_dict().values())

@@ -1,0 +1,75 @@
+"""Fig. 2 of the paper: skyline and candidate sizes on special graphs."""
+
+import pytest
+
+from repro.core.api import neighborhood_candidates, neighborhood_skyline
+from repro.graph.generators import (
+    complete_binary_tree,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+)
+
+
+class TestClique:
+    """Fig. 2a: |R| = |C| = 1 (the smallest ID dominates everyone)."""
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 10, 25])
+    def test_skyline_is_vertex_zero(self, n):
+        result = neighborhood_skyline(complete_graph(n))
+        assert result.skyline == (0,)
+
+    @pytest.mark.parametrize("n", [2, 5, 10])
+    def test_candidates_single(self, n):
+        assert neighborhood_candidates(complete_graph(n)) == (0,)
+
+
+class TestCompleteBinaryTree:
+    """Fig. 2b: R and C are exactly the internal (non-leaf) vertices."""
+
+    @pytest.mark.parametrize("depth", [1, 2, 3, 4])
+    def test_skyline_is_internal_vertices(self, depth):
+        g = complete_binary_tree(depth)
+        internal = tuple(range(2**depth - 1))
+        assert neighborhood_skyline(g).skyline == internal
+
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_candidates_match_skyline(self, depth):
+        g = complete_binary_tree(depth)
+        assert neighborhood_candidates(g) == neighborhood_skyline(g).skyline
+
+
+class TestCycle:
+    """Fig. 2c: |R| = |C| = n — nobody dominates anybody."""
+
+    @pytest.mark.parametrize("n", [5, 6, 9, 20])
+    def test_everything_in_skyline(self, n):
+        g = cycle_graph(n)
+        assert neighborhood_skyline(g).size == n
+        assert len(neighborhood_candidates(g)) == n
+
+    def test_small_cycles_collapse(self):
+        # C3 = K3 and C4 has twin pairs, so the general rule starts at 5.
+        assert neighborhood_skyline(cycle_graph(3)).size == 1
+        assert neighborhood_skyline(cycle_graph(4)).size == 2
+
+
+class TestPath:
+    """Fig. 2d: |R| = |C| = n - 2 (the endpoints are dominated)."""
+
+    @pytest.mark.parametrize("n", [4, 5, 8, 20])
+    def test_endpoints_dominated(self, n):
+        g = path_graph(n)
+        result = neighborhood_skyline(g)
+        assert result.size == n - 2
+        assert 0 not in result.skyline_set
+        assert n - 1 not in result.skyline_set
+
+    def test_candidates_equal_skyline(self):
+        g = path_graph(10)
+        assert neighborhood_candidates(g) == neighborhood_skyline(g).skyline
+
+    def test_tiny_paths(self):
+        # P2: mutual twins, smaller ID survives. P3: middle dominates.
+        assert neighborhood_skyline(path_graph(2)).skyline == (0,)
+        assert neighborhood_skyline(path_graph(3)).skyline == (1,)

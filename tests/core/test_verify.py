@@ -1,0 +1,91 @@
+"""Tests for the independent skyline verifier."""
+
+import pytest
+
+from repro.core.api import neighborhood_skyline
+from repro.core.result import SkylineResult
+from repro.core.verify import SkylineVerificationError, verify_skyline
+from repro.graph.generators import copying_power_law, erdos_renyi
+
+
+class TestAcceptsCorrectResults:
+    @pytest.mark.parametrize(
+        "algorithm", ["filter_refine", "base", "cset", "lc_join", "naive"]
+    )
+    def test_all_algorithms_verify(self, karate, algorithm):
+        verify_skyline(karate, neighborhood_skyline(karate, algorithm))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs_verify(self, seed):
+        g = erdos_renyi(30, 0.15, seed=seed)
+        verify_skyline(g, neighborhood_skyline(g))
+
+    def test_power_law_verifies(self):
+        g = copying_power_law(100, 2.5, 0.85, seed=1)
+        verify_skyline(g, neighborhood_skyline(g))
+
+
+class TestRejectsCorruptedResults:
+    @pytest.fixture
+    def good(self, karate):
+        return neighborhood_skyline(karate)
+
+    def test_wrong_length_dominator(self, karate, good):
+        bad = SkylineResult(
+            skyline=good.skyline,
+            dominator=good.dominator[:-1],
+            candidates=good.candidates,
+        )
+        with pytest.raises(SkylineVerificationError, match="entries"):
+            verify_skyline(karate, bad)
+
+    def test_extra_skyline_member(self, karate, good):
+        dominated = next(
+            u for u in karate.vertices() if u not in good.skyline_set
+        )
+        dominator = list(good.dominator)
+        dominator[dominated] = dominated
+        bad = SkylineResult(
+            skyline=tuple(sorted(good.skyline + (dominated,))),
+            dominator=tuple(dominator),
+        )
+        with pytest.raises(SkylineVerificationError, match="dominated"):
+            verify_skyline(karate, bad)
+
+    def test_missing_skyline_member(self, karate, good):
+        dropped = good.skyline[0]
+        dominator = list(good.dominator)
+        dominator[dropped] = good.skyline[1]
+        bad = SkylineResult(
+            skyline=good.skyline[1:],
+            dominator=tuple(dominator),
+        )
+        with pytest.raises(SkylineVerificationError):
+            verify_skyline(karate, bad)
+
+    def test_inconsistent_witness_entry(self, karate, good):
+        dominator = list(good.dominator)
+        dominator[good.skyline[0]] = 99 % karate.num_vertices
+        bad = SkylineResult(
+            skyline=good.skyline,
+            dominator=tuple(dominator),
+        )
+        with pytest.raises(SkylineVerificationError, match="inconsistent"):
+            verify_skyline(karate, bad)
+
+    def test_unsorted_skyline(self, karate, good):
+        bad = SkylineResult(
+            skyline=tuple(reversed(good.skyline)),
+            dominator=good.dominator,
+        )
+        with pytest.raises(SkylineVerificationError, match="sorted"):
+            verify_skyline(karate, bad)
+
+    def test_candidate_set_missing_skyline(self, karate, good):
+        bad = SkylineResult(
+            skyline=good.skyline,
+            dominator=good.dominator,
+            candidates=good.skyline[1:],
+        )
+        with pytest.raises(SkylineVerificationError, match="candidate"):
+            verify_skyline(karate, bad)

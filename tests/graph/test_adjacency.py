@@ -1,0 +1,142 @@
+"""Tests for the core Graph representation."""
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.adjacency import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph.from_edges(0, [])
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_vertices_without_edges(self):
+        g = Graph.from_edges(4, [])
+        assert g.num_vertices == 4
+        assert all(g.degree(u) == 0 for u in g.vertices())
+
+    def test_single_edge(self):
+        g = Graph.from_edges(2, [(0, 1)])
+        assert g.num_edges == 1
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+
+    def test_neighbors_are_sorted(self):
+        g = Graph.from_edges(5, [(3, 0), (3, 4), (3, 1), (3, 2)])
+        assert list(g.neighbors(3)) == [0, 1, 2, 4]
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphFormatError, match="self-loop"):
+            Graph.from_edges(3, [(1, 1)])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(GraphFormatError, match="duplicate"):
+            Graph.from_edges(3, [(0, 1), (0, 1)])
+
+    def test_rejects_duplicate_edge_reversed(self):
+        with pytest.raises(GraphFormatError, match="duplicate"):
+            Graph.from_edges(3, [(0, 1), (1, 0)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(GraphFormatError, match="out of range"):
+            Graph.from_edges(2, [(0, 5)])
+
+    def test_rejects_negative_vertex_count(self):
+        with pytest.raises(GraphFormatError):
+            Graph.from_edges(-1, [])
+
+
+class TestQueries:
+    def test_degree(self, triangle):
+        assert [triangle.degree(u) for u in range(3)] == [2, 2, 2]
+
+    def test_len_is_vertex_count(self, k5):
+        assert len(k5) == 5
+
+    def test_has_edge_absent(self, p6):
+        assert not p6.has_edge(0, 5)
+        assert not p6.has_edge(0, 2)
+
+    def test_has_edge_checks_smaller_list(self, star7):
+        # Center has degree 6; leaves have degree 1.
+        assert star7.has_edge(0, 3)
+        assert not star7.has_edge(1, 2)
+
+    def test_closed_neighborhood_contains_self(self, triangle):
+        assert triangle.closed_neighborhood(1) == [0, 1, 2]
+
+    def test_closed_neighborhood_sorted_when_self_is_extreme(self, p6):
+        assert p6.closed_neighborhood(0) == [0, 1]
+        assert p6.closed_neighborhood(5) == [4, 5]
+
+    def test_closed_neighborhood_is_a_copy(self, triangle):
+        closed = triangle.closed_neighborhood(0)
+        closed.append(99)
+        assert triangle.closed_neighborhood(0) == [0, 1, 2]
+
+    def test_edges_yields_each_once(self, k5):
+        edges = list(k5.edges())
+        assert len(edges) == 10
+        assert all(u < v for u, v in edges)
+        assert len(set(edges)) == 10
+
+    def test_vertices_range(self, p6):
+        assert list(p6.vertices()) == [0, 1, 2, 3, 4, 5]
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges(self, k5):
+        sub, mapping = k5.induced_subgraph([0, 2, 4])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3  # triangle
+        assert mapping == [0, 2, 4]
+
+    def test_drops_external_edges(self, p6):
+        sub, mapping = p6.induced_subgraph([0, 2, 4])
+        assert sub.num_edges == 0
+
+    def test_relabels_in_sorted_order(self, p6):
+        sub, mapping = p6.induced_subgraph([5, 1, 3, 2])
+        assert mapping == [1, 2, 3, 5]
+        # Edges 1-2 and 2-3 survive under new labels 0-1, 1-2.
+        assert sub.has_edge(0, 1)
+        assert sub.has_edge(1, 2)
+        assert not sub.has_edge(2, 3)
+
+    def test_duplicate_input_vertices_collapse(self, triangle):
+        sub, mapping = triangle.induced_subgraph([0, 0, 1])
+        assert sub.num_vertices == 2
+        assert sub.num_edges == 1
+
+    def test_out_of_range_vertex_rejected(self, triangle):
+        with pytest.raises(GraphFormatError):
+            triangle.induced_subgraph([0, 7])
+
+    def test_empty_selection(self, triangle):
+        sub, mapping = triangle.induced_subgraph([])
+        assert sub.num_vertices == 0
+        assert mapping == []
+
+
+class TestDunder:
+    def test_equality(self):
+        a = Graph.from_edges(3, [(0, 1)])
+        b = Graph.from_edges(3, [(0, 1)])
+        c = Graph.from_edges(3, [(0, 2)])
+        assert a == b
+        assert a != c
+
+    def test_equality_with_non_graph(self):
+        assert Graph.from_edges(1, []) != "not a graph"
+
+    def test_hash_consistent_with_equality(self):
+        a = Graph.from_edges(3, [(0, 1)])
+        b = Graph.from_edges(3, [(0, 1)])
+        assert hash(a) == hash(b)
+
+    def test_repr_mentions_sizes(self, k5):
+        assert "n=5" in repr(k5)
+        assert "m=10" in repr(k5)

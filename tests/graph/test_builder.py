@@ -1,0 +1,90 @@
+"""Tests for GraphBuilder."""
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.builder import GraphBuilder
+
+
+def test_empty_builder():
+    g = GraphBuilder().build()
+    assert g.num_vertices == 0
+    assert g.num_edges == 0
+
+
+def test_fixed_vertex_count():
+    g = GraphBuilder(5).build()
+    assert g.num_vertices == 5
+
+
+def test_vertices_grow_with_edges():
+    b = GraphBuilder()
+    b.add_edge(0, 7)
+    assert b.num_vertices == 8
+    assert b.build().num_vertices == 8
+
+
+def test_ensure_vertex_grows():
+    b = GraphBuilder(2)
+    b.ensure_vertex(9)
+    assert b.num_vertices == 10
+
+
+def test_ensure_vertex_never_shrinks():
+    b = GraphBuilder(5)
+    b.ensure_vertex(1)
+    assert b.num_vertices == 5
+
+
+def test_negative_vertex_rejected():
+    b = GraphBuilder()
+    with pytest.raises(GraphFormatError):
+        b.ensure_vertex(-1)
+
+
+def test_negative_initial_count_rejected():
+    with pytest.raises(GraphFormatError):
+        GraphBuilder(-3)
+
+
+def test_duplicate_edges_ignored():
+    b = GraphBuilder()
+    b.add_edge(0, 1)
+    b.add_edge(1, 0)
+    b.add_edge(0, 1)
+    assert b.num_edges == 1
+
+
+def test_self_loop_rejected():
+    b = GraphBuilder()
+    with pytest.raises(GraphFormatError, match="self-loop"):
+        b.add_edge(2, 2)
+
+
+def test_has_edge_both_orientations():
+    b = GraphBuilder()
+    b.add_edge(3, 1)
+    assert b.has_edge(1, 3)
+    assert b.has_edge(3, 1)
+    assert not b.has_edge(0, 1)
+
+
+def test_add_edges_bulk():
+    b = GraphBuilder()
+    b.add_edges([(0, 1), (1, 2), (2, 3)])
+    g = b.build()
+    assert g.num_edges == 3
+
+
+def test_built_graph_has_sorted_neighbors():
+    b = GraphBuilder()
+    for v in (9, 3, 7, 1):
+        b.add_edge(5, v)
+    g = b.build()
+    assert list(g.neighbors(5)) == [1, 3, 7, 9]
+
+
+def test_build_twice_is_consistent():
+    b = GraphBuilder()
+    b.add_edge(0, 1)
+    assert b.build() == b.build()

@@ -1,0 +1,70 @@
+"""Tests for connected-component extraction."""
+
+from repro.graph.adjacency import Graph
+from repro.graph.components import (
+    connected_components,
+    is_connected,
+    largest_connected_component,
+)
+from repro.graph.generators import complete_graph, empty_graph, path_graph
+
+
+def test_single_component(p6):
+    comps = connected_components(p6)
+    assert comps == [[0, 1, 2, 3, 4, 5]]
+    assert is_connected(p6)
+
+
+def test_multiple_components(disconnected):
+    comps = connected_components(disconnected)
+    sizes = [len(c) for c in comps]
+    assert sizes == [3, 3, 2, 1]
+    assert not is_connected(disconnected)
+
+
+def test_components_are_sorted(disconnected):
+    for comp in connected_components(disconnected):
+        assert comp == sorted(comp)
+
+
+def test_components_partition_vertices(disconnected):
+    comps = connected_components(disconnected)
+    everything = sorted(v for comp in comps for v in comp)
+    assert everything == list(disconnected.vertices())
+
+
+def test_empty_graph_is_connected():
+    assert is_connected(empty_graph(0))
+    assert connected_components(empty_graph(0)) == []
+
+
+def test_isolated_vertices_are_singletons():
+    comps = connected_components(empty_graph(3))
+    assert comps == [[0], [1], [2]]
+
+
+def test_largest_component_extraction(disconnected):
+    sub, mapping = largest_connected_component(disconnected)
+    assert sub.num_vertices == 3
+    assert sub.num_edges == 3  # one of the triangles
+    assert mapping in ([0, 1, 2], [3, 4, 5])
+
+
+def test_largest_component_of_connected_graph_is_identity(k5):
+    sub, mapping = largest_connected_component(k5)
+    assert sub == k5
+    assert mapping == [0, 1, 2, 3, 4]
+
+
+def test_largest_component_of_empty_graph():
+    sub, mapping = largest_connected_component(empty_graph(0))
+    assert sub.num_vertices == 0
+    assert mapping == []
+
+
+def test_tie_breaks_deterministically():
+    # Two same-size components: result must be stable across calls.
+    g = Graph.from_edges(4, [(0, 1), (2, 3)])
+    first = largest_connected_component(g)
+    second = largest_connected_component(g)
+    assert first[1] == second[1]

@@ -1,0 +1,203 @@
+"""Tests for the graph generators."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph.generators import (
+    barabasi_albert,
+    chung_lu_power_law,
+    complete_binary_tree,
+    complete_graph,
+    copying_power_law,
+    cycle_graph,
+    empty_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+from repro.graph.validation import validate_graph
+
+
+class TestSpecialGraphs:
+    def test_empty(self):
+        g = empty_graph(4)
+        assert (g.num_vertices, g.num_edges) == (4, 0)
+
+    def test_complete(self):
+        g = complete_graph(6)
+        validate_graph(g)
+        assert g.num_edges == 15
+        assert all(g.degree(u) == 5 for u in g.vertices())
+
+    def test_complete_trivial_sizes(self):
+        assert complete_graph(0).num_vertices == 0
+        assert complete_graph(1).num_edges == 0
+
+    def test_path(self):
+        g = path_graph(5)
+        validate_graph(g)
+        assert g.num_edges == 4
+        assert g.degree(0) == 1
+        assert g.degree(2) == 2
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        validate_graph(g)
+        assert g.num_edges == 5
+        assert all(g.degree(u) == 2 for u in g.vertices())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ParameterError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.degree(0) == 5
+        assert all(g.degree(u) == 1 for u in range(1, 6))
+
+    def test_binary_tree_sizes(self):
+        for depth in range(4):
+            g = complete_binary_tree(depth)
+            n = 2 ** (depth + 1) - 1
+            assert g.num_vertices == n
+            assert g.num_edges == n - 1
+            validate_graph(g)
+
+    def test_binary_tree_leaf_degrees(self):
+        g = complete_binary_tree(2)  # 7 vertices, leaves 3..6
+        assert all(g.degree(u) == 1 for u in range(3, 7))
+        assert g.degree(0) == 2
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ParameterError):
+            path_graph(-1)
+        with pytest.raises(ParameterError):
+            complete_binary_tree(-1)
+
+
+class TestErdosRenyi:
+    def test_deterministic_under_seed(self):
+        assert erdos_renyi(50, 0.2, seed=3) == erdos_renyi(50, 0.2, seed=3)
+
+    def test_different_seeds_differ(self):
+        assert erdos_renyi(50, 0.2, seed=3) != erdos_renyi(50, 0.2, seed=4)
+
+    def test_p_zero_yields_no_edges(self):
+        assert erdos_renyi(30, 0.0, seed=1).num_edges == 0
+
+    def test_p_one_yields_complete(self):
+        assert erdos_renyi(10, 1.0, seed=1) == complete_graph(10)
+
+    def test_edge_count_near_expectation(self):
+        n, p = 400, 0.05
+        expect = p * n * (n - 1) / 2
+        m = erdos_renyi(n, p, seed=5).num_edges
+        assert 0.8 * expect < m < 1.2 * expect
+
+    def test_structurally_valid(self):
+        validate_graph(erdos_renyi(80, 0.1, seed=9))
+
+    def test_invalid_probability(self):
+        with pytest.raises(ParameterError):
+            erdos_renyi(10, 1.5)
+
+
+class TestChungLu:
+    def test_deterministic(self):
+        a = chung_lu_power_law(80, 2.5, seed=1)
+        assert a == chung_lu_power_law(80, 2.5, seed=1)
+
+    def test_average_degree_in_ballpark(self):
+        g = chung_lu_power_law(2000, 2.7, average_degree=6.0, seed=2)
+        avg = 2 * g.num_edges / g.num_vertices
+        assert 4.0 < avg < 8.0
+
+    def test_heavy_tail_exists(self):
+        g = chung_lu_power_law(2000, 2.3, average_degree=5.0, seed=3)
+        dmax = max(g.degree(u) for u in g.vertices())
+        assert dmax > 20
+
+    def test_structurally_valid(self):
+        validate_graph(chung_lu_power_law(150, 2.8, seed=4))
+
+    def test_beta_must_exceed_two(self):
+        with pytest.raises(ParameterError):
+            chung_lu_power_law(10, 2.0)
+
+    def test_average_degree_positive(self):
+        with pytest.raises(ParameterError):
+            chung_lu_power_law(10, 2.5, average_degree=0)
+
+
+class TestCopyingModel:
+    def test_deterministic(self):
+        a = copying_power_law(100, 2.5, 0.8, seed=1)
+        assert a == copying_power_law(100, 2.5, 0.8, seed=1)
+
+    def test_structurally_valid(self):
+        validate_graph(copying_power_law(200, 2.5, 0.9, seed=2))
+
+    def test_tiny_n_is_clique(self):
+        assert copying_power_law(4, 2.5, 0.5, seed=1) == complete_graph(4)
+
+    def test_min_degree_at_least_one(self):
+        g = copying_power_law(300, 2.5, 0.85, seed=3)
+        assert min(g.degree(u) for u in g.vertices()) >= 1
+
+    def test_degree_one_mass_is_large(self):
+        # The discrete power law should put a big share on degree 1.
+        g = copying_power_law(2000, 2.8, 0.9, seed=4)
+        deg1 = sum(1 for u in g.vertices() if g.degree(u) == 1)
+        assert deg1 > 0.3 * g.num_vertices
+
+    def test_copying_shrinks_skyline(self):
+        from repro.core import filter_refine_sky
+
+        low = copying_power_law(800, 2.5, 0.1, seed=5)
+        high = copying_power_law(800, 2.5, 0.95, seed=5)
+        frac_low = filter_refine_sky(low).size / 800
+        frac_high = filter_refine_sky(high).size / 800
+        assert frac_high < frac_low
+
+    def test_proto_link_creates_triangles(self):
+        g = copying_power_law(
+            500, 2.5, 0.9, proto_link_prob=0.9, seed=6
+        )
+        triangles = 0
+        for u in g.vertices():
+            nbrs = list(g.neighbors(u))
+            for i, a in enumerate(nbrs):
+                for b in nbrs[i + 1 :]:
+                    if g.has_edge(a, b):
+                        triangles += 1
+        assert triangles > 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            copying_power_law(10, 2.5, 1.5)
+        with pytest.raises(ParameterError):
+            copying_power_law(10, 0.5, 0.5)
+        with pytest.raises(ParameterError):
+            copying_power_law(10, 2.5, 0.5, max_out_degree=0)
+        with pytest.raises(ParameterError):
+            copying_power_law(10, 2.5, 0.5, proto_link_prob=-0.1)
+
+
+class TestBarabasiAlbert:
+    def test_deterministic(self):
+        assert barabasi_albert(60, 2, seed=1) == barabasi_albert(60, 2, seed=1)
+
+    def test_edge_count(self):
+        g = barabasi_albert(100, 3, seed=2)
+        # Seed clique of 4 vertices (6 edges) + 3 per arrival.
+        assert g.num_edges == 6 + 3 * 96
+
+    def test_small_n_complete(self):
+        assert barabasi_albert(3, 5, seed=1) == complete_graph(3)
+
+    def test_attach_validation(self):
+        with pytest.raises(ParameterError):
+            barabasi_albert(10, 0)
+
+    def test_structurally_valid(self):
+        validate_graph(barabasi_albert(120, 2, seed=3))

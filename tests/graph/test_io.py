@@ -1,0 +1,94 @@
+"""Tests for edge-list reading and writing."""
+
+import io
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.io import read_edge_list, read_konect, write_edge_list
+
+
+def test_basic_parse():
+    g = read_edge_list(io.StringIO("0 1\n1 2\n"))
+    assert g.num_vertices == 3
+    assert g.num_edges == 2
+
+
+def test_comments_and_blank_lines_skipped():
+    text = "# a comment\n\n0 1\n   \n# another\n1 2\n"
+    g = read_edge_list(io.StringIO(text))
+    assert g.num_edges == 2
+
+
+def test_konect_style():
+    text = "% meta\n1 2\n2 3\n"
+    g = read_konect(io.StringIO(text))
+    assert g.num_vertices == 3
+    assert g.has_edge(0, 1)
+    assert g.has_edge(1, 2)
+
+
+def test_compaction_of_sparse_ids():
+    g = read_edge_list(io.StringIO("10 90\n90 40\n"))
+    assert g.num_vertices == 3
+    # Sorted compaction: 10→0, 40→1, 90→2.
+    assert g.has_edge(0, 2)
+    assert g.has_edge(1, 2)
+    assert not g.has_edge(0, 1)
+
+
+def test_no_compaction_keeps_ids():
+    g = read_edge_list(io.StringIO("0 4\n"), compact=False)
+    assert g.num_vertices == 5
+    assert g.degree(2) == 0
+
+
+def test_duplicate_edges_deduplicated_by_default():
+    g = read_edge_list(io.StringIO("0 1\n1 0\n0 1\n"))
+    assert g.num_edges == 1
+
+
+def test_duplicates_rejected_when_disallowed():
+    with pytest.raises(GraphFormatError, match="duplicate"):
+        read_edge_list(io.StringIO("0 1\n1 0\n"), allow_duplicates=False)
+
+
+def test_self_loops_silently_dropped():
+    g = read_edge_list(io.StringIO("0 0\n0 1\n"))
+    assert g.num_edges == 1
+
+
+def test_malformed_line_raises():
+    with pytest.raises(GraphFormatError, match="line 1"):
+        read_edge_list(io.StringIO("justone\n"))
+
+
+def test_non_integer_raises():
+    with pytest.raises(GraphFormatError, match="non-integer"):
+        read_edge_list(io.StringIO("a b\n"))
+
+
+def test_negative_after_base_raises():
+    with pytest.raises(GraphFormatError, match="negative"):
+        read_edge_list(io.StringIO("0 1\n"), base=1)
+
+
+def test_extra_columns_tolerated():
+    # Many dumps carry weights/timestamps in later columns.
+    g = read_edge_list(io.StringIO("0 1 42 1999\n"))
+    assert g.num_edges == 1
+
+
+def test_roundtrip_via_file(tmp_path):
+    path = tmp_path / "g.txt"
+    g = read_edge_list(io.StringIO("0 1\n1 2\n2 0\n"))
+    write_edge_list(g, str(path))
+    g2 = read_edge_list(str(path))
+    assert g2 == g
+
+
+def test_write_to_stream(k5):
+    buf = io.StringIO()
+    write_edge_list(k5, buf)
+    lines = [l for l in buf.getvalue().splitlines() if not l.startswith("#")]
+    assert len(lines) == 10

@@ -1,0 +1,43 @@
+"""Tests for the embedded karate-club data."""
+
+from repro.graph.karate import KARATE_EDGES, karate_club
+from repro.graph.validation import validate_graph
+
+
+def test_sizes():
+    g = karate_club()
+    assert g.num_vertices == 34
+    assert g.num_edges == 78
+
+
+def test_structurally_valid():
+    validate_graph(karate_club())
+
+
+def test_known_degrees():
+    # Mr. Hi (0) and John A. (33) are the famous high-degree actors.
+    g = karate_club()
+    assert g.degree(0) == 16
+    assert g.degree(33) == 17
+    assert g.degree(11) == 1  # the lone pendant
+
+
+def test_edge_list_has_no_duplicates():
+    normalized = {(min(u, v), max(u, v)) for u, v in KARATE_EDGES}
+    assert len(normalized) == len(KARATE_EDGES) == 78
+
+
+def test_matches_networkx_reference():
+    nx = __import__("networkx")
+    ours = {(min(u, v), max(u, v)) for u, v in karate_club().edges()}
+    theirs = {
+        (min(u, v), max(u, v))
+        for u, v in nx.karate_club_graph().edges()
+    }
+    assert ours == theirs
+
+
+def test_is_connected():
+    from repro.graph.components import is_connected
+
+    assert is_connected(karate_club())

@@ -1,0 +1,139 @@
+"""Tests for structural graph metrics."""
+
+import pytest
+
+from repro.graph.adjacency import Graph
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+from repro.graph.metrics import (
+    approximate_diameter,
+    average_local_clustering,
+    degree_assortativity,
+    global_clustering,
+    triangle_count,
+    triangles_per_vertex,
+)
+
+
+class TestTriangles:
+    def test_complete_graph(self):
+        # C(n, 3) triangles in K_n.
+        assert triangle_count(complete_graph(5)) == 10
+        assert triangle_count(complete_graph(6)) == 20
+
+    def test_triangle_free(self):
+        assert triangle_count(path_graph(6)) == 0
+        assert triangle_count(cycle_graph(6)) == 0
+        assert triangle_count(star_graph(6)) == 0
+
+    def test_single_triangle(self, triangle):
+        assert triangle_count(triangle) == 1
+        assert triangles_per_vertex(triangle) == [1, 1, 1]
+
+    def test_per_vertex_in_k4(self):
+        # Every K4 vertex sits in C(3, 2) = 3 triangles.
+        assert triangles_per_vertex(complete_graph(4)) == [3, 3, 3, 3]
+
+    def test_matches_networkx(self):
+        nx = __import__("networkx")
+        for seed in range(5):
+            g = erdos_renyi(30, 0.2, seed=seed)
+            G = nx.Graph()
+            G.add_nodes_from(range(30))
+            G.add_edges_from(g.edges())
+            expected = nx.triangles(G)
+            ours = triangles_per_vertex(g)
+            for v in range(30):
+                assert ours[v] == expected[v], (seed, v)
+
+    def test_empty(self):
+        assert triangle_count(empty_graph(4)) == 0
+
+
+class TestClustering:
+    def test_complete_graph_is_one(self):
+        assert global_clustering(complete_graph(6)) == pytest.approx(1.0)
+        assert average_local_clustering(complete_graph(6)) == pytest.approx(
+            1.0
+        )
+
+    def test_triangle_free_is_zero(self):
+        assert global_clustering(star_graph(8)) == 0.0
+
+    def test_matches_networkx_transitivity(self):
+        nx = __import__("networkx")
+        for seed in range(4):
+            g = erdos_renyi(25, 0.25, seed=seed)
+            G = nx.Graph()
+            G.add_nodes_from(range(25))
+            G.add_edges_from(g.edges())
+            assert global_clustering(g) == pytest.approx(
+                nx.transitivity(G)
+            )
+
+    def test_matches_networkx_average(self):
+        nx = __import__("networkx")
+        g = erdos_renyi(25, 0.25, seed=7)
+        G = nx.Graph()
+        G.add_nodes_from(range(25))
+        G.add_edges_from(g.edges())
+        assert average_local_clustering(g) == pytest.approx(
+            nx.average_clustering(G)
+        )
+
+    def test_empty_graph(self):
+        assert average_local_clustering(empty_graph(0)) == 0.0
+
+
+class TestAssortativity:
+    def test_star_is_negative(self):
+        assert degree_assortativity(star_graph(8)) < 0
+
+    def test_regular_graph_degenerate(self):
+        # All degrees equal: zero variance → defined as 0.
+        assert degree_assortativity(cycle_graph(8)) == 0.0
+
+    def test_matches_networkx(self):
+        nx = __import__("networkx")
+        g = erdos_renyi(30, 0.15, seed=3)
+        G = nx.Graph()
+        G.add_nodes_from(range(30))
+        G.add_edges_from(g.edges())
+        assert degree_assortativity(g) == pytest.approx(
+            nx.degree_assortativity_coefficient(G), abs=1e-9
+        )
+
+    def test_no_edges(self):
+        assert degree_assortativity(empty_graph(5)) == 0.0
+
+
+class TestDiameter:
+    def test_path_exact(self):
+        assert approximate_diameter(path_graph(9)) == 8
+
+    def test_cycle_lower_bound(self):
+        d = approximate_diameter(cycle_graph(10))
+        assert d == 5  # double sweep is exact on cycles too
+
+    def test_complete_graph(self):
+        assert approximate_diameter(complete_graph(5)) == 1
+
+    def test_never_exceeds_true_diameter(self):
+        nx = __import__("networkx")
+        for seed in range(4):
+            g = erdos_renyi(25, 0.2, seed=seed)
+            G = nx.Graph()
+            G.add_nodes_from(range(25))
+            G.add_edges_from(g.edges())
+            lcc = max(nx.connected_components(G), key=len)
+            true_diameter = nx.diameter(G.subgraph(lcc))
+            assert approximate_diameter(g) <= true_diameter
+
+    def test_empty(self):
+        assert approximate_diameter(Graph.from_edges(0, [])) == 0

@@ -1,0 +1,87 @@
+"""Tests for the Exp-7 subgraph samplers."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph.generators import complete_graph, erdos_renyi
+from repro.graph.sampling import sample_edges, sample_vertices
+from repro.graph.validation import validate_graph
+
+
+@pytest.fixture
+def base():
+    return erdos_renyi(100, 0.1, seed=1)
+
+
+class TestVertexSampling:
+    def test_full_fraction_is_isomorphic_size(self, base):
+        g = sample_vertices(base, 1.0, seed=2)
+        assert g.num_vertices == base.num_vertices
+        assert g.num_edges == base.num_edges
+
+    def test_zero_fraction(self, base):
+        g = sample_vertices(base, 0.0, seed=2)
+        assert g.num_vertices == 0
+
+    def test_size_scales(self, base):
+        g = sample_vertices(base, 0.4, seed=2)
+        assert g.num_vertices == 40
+
+    def test_deterministic(self, base):
+        a = sample_vertices(base, 0.5, seed=3)
+        b = sample_vertices(base, 0.5, seed=3)
+        assert a == b
+
+    def test_nested_growth(self, base):
+        # Same seed: smaller fractions keep a subset of the vertices, so
+        # edge counts must be monotone.
+        ms = [
+            sample_vertices(base, f, seed=4).num_edges
+            for f in (0.2, 0.4, 0.6, 0.8, 1.0)
+        ]
+        assert ms == sorted(ms)
+
+    def test_result_valid(self, base):
+        validate_graph(sample_vertices(base, 0.63, seed=5))
+
+    def test_fraction_validation(self, base):
+        with pytest.raises(ParameterError):
+            sample_vertices(base, 1.2)
+        with pytest.raises(ParameterError):
+            sample_vertices(base, -0.1)
+
+
+class TestEdgeSampling:
+    def test_vertex_set_unchanged(self, base):
+        g = sample_edges(base, 0.3, seed=2)
+        assert g.num_vertices == base.num_vertices
+
+    def test_edge_count_scales(self, base):
+        g = sample_edges(base, 0.5, seed=2)
+        assert g.num_edges == round(0.5 * base.num_edges)
+
+    def test_full_fraction_identical(self, base):
+        assert sample_edges(base, 1.0, seed=2) == base
+
+    def test_zero_fraction_empty(self, base):
+        assert sample_edges(base, 0.0, seed=2).num_edges == 0
+
+    def test_edges_are_subset(self, base):
+        g = sample_edges(base, 0.4, seed=7)
+        original = set(base.edges())
+        assert set(g.edges()) <= original
+
+    def test_deterministic(self, base):
+        assert sample_edges(base, 0.5, seed=3) == sample_edges(
+            base, 0.5, seed=3
+        )
+
+    def test_fraction_validation(self, base):
+        with pytest.raises(ParameterError):
+            sample_edges(base, 2.0)
+
+
+def test_sampling_complete_graph_stays_valid():
+    g = complete_graph(20)
+    validate_graph(sample_vertices(g, 0.5, seed=1))
+    validate_graph(sample_edges(g, 0.5, seed=1))

@@ -1,0 +1,54 @@
+"""Tests for graph statistics."""
+
+from repro.graph.generators import complete_graph, empty_graph, star_graph
+from repro.graph.stats import degree_histogram, graph_stats
+
+
+def test_complete_graph_stats():
+    s = graph_stats(complete_graph(6))
+    assert s.num_vertices == 6
+    assert s.num_edges == 15
+    assert s.max_degree == 5
+    assert s.average_degree == 5.0
+    assert s.density == 1.0
+
+
+def test_star_stats():
+    s = graph_stats(star_graph(5))
+    assert s.max_degree == 4
+    assert s.average_degree == 2 * 4 / 5
+
+
+def test_empty_graph_stats():
+    s = graph_stats(empty_graph(0))
+    assert s.num_vertices == 0
+    assert s.max_degree == 0
+    assert s.average_degree == 0.0
+    assert s.density == 0.0
+
+
+def test_single_vertex_density_defined():
+    s = graph_stats(empty_graph(1))
+    assert s.density == 0.0
+
+
+def test_as_row_matches_table1_order(karate):
+    s = graph_stats(karate)
+    assert s.as_row() == (34, 78, 17)
+
+
+def test_degree_histogram_star():
+    hist = degree_histogram(star_graph(5))
+    assert hist[1] == 4
+    assert hist[4] == 1
+    assert sum(hist) == 5
+
+
+def test_degree_histogram_empty():
+    assert degree_histogram(empty_graph(3)) == [3]
+
+
+def test_karate_degree_histogram_total(karate):
+    hist = degree_histogram(karate)
+    assert sum(hist) == 34
+    assert sum(d * c for d, c in enumerate(hist)) == 2 * 78

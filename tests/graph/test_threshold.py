@@ -1,0 +1,131 @@
+"""Tests for threshold graphs and their vicinal-pre-order totality."""
+
+import pytest
+
+from repro.core.domination import neighborhood_included
+from repro.errors import ParameterError
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+from repro.graph.threshold import (
+    creation_sequence,
+    is_threshold_graph,
+    threshold_graph,
+)
+from repro.graph.validation import validate_graph
+
+
+class TestConstruction:
+    def test_empty_sequence(self):
+        g = threshold_graph("")
+        assert g.num_vertices == 0
+
+    def test_all_isolated(self):
+        g = threshold_graph("iii")
+        assert g.num_edges == 0
+
+    def test_all_dominating_is_clique(self):
+        g = threshold_graph("iddd")
+        assert g == complete_graph(4)
+
+    def test_star_sequence(self):
+        g = threshold_graph("iiid")
+        assert g == star_graph(4) or sorted(
+            g.degree(u) for u in g.vertices()
+        ) == [1, 1, 1, 3]
+
+    def test_invalid_character(self):
+        with pytest.raises(ParameterError):
+            threshold_graph("ixd")
+
+    def test_valid_structure(self):
+        validate_graph(threshold_graph("ididid"))
+
+
+class TestRecognition:
+    @pytest.mark.parametrize(
+        "sequence", ["", "i", "id", "iid", "idid", "iiddd", "ididiidd"]
+    )
+    def test_roundtrip(self, sequence):
+        g = threshold_graph(sequence)
+        recovered = creation_sequence(g)
+        assert recovered is not None
+        # The recovered sequence may differ textually but must rebuild
+        # an isomorphic (here: equal-degree-sequence) threshold graph.
+        rebuilt = threshold_graph(recovered)
+        assert sorted(g.degree(u) for u in g.vertices()) == sorted(
+            rebuilt.degree(u) for u in rebuilt.vertices()
+        )
+
+    def test_path3_is_threshold(self):
+        assert is_threshold_graph(path_graph(3))
+
+    def test_path4_is_not(self):
+        # P4 is the canonical forbidden induced subgraph.
+        assert not is_threshold_graph(path_graph(4))
+
+    def test_cycle_is_not(self):
+        assert not is_threshold_graph(cycle_graph(5))
+
+    def test_complete_and_empty_are(self):
+        assert is_threshold_graph(complete_graph(6))
+        assert is_threshold_graph(threshold_graph("iiii"))
+
+    def test_random_threshold_graphs_recognized(self):
+        import random
+
+        rng = random.Random(5)
+        for _ in range(20):
+            seq = "i" + "".join(
+                rng.choice("id") for _ in range(rng.randrange(1, 12))
+            )
+            assert is_threshold_graph(threshold_graph(seq)), seq
+
+    def test_random_er_graphs_mostly_rejected(self):
+        rejected = sum(
+            not is_threshold_graph(erdos_renyi(12, 0.3, seed=s))
+            for s in range(10)
+        )
+        assert rejected >= 8
+
+
+class TestVicinalTotality:
+    """Threshold ⟺ any two vertices comparable under inclusion."""
+
+    @pytest.mark.parametrize("sequence", ["iid", "idid", "iiddd", "ididiidd"])
+    def test_threshold_preorder_is_total(self, sequence):
+        g = threshold_graph(sequence)
+        for u in g.vertices():
+            for v in g.vertices():
+                if u == v:
+                    continue
+                assert neighborhood_included(
+                    g, u, v
+                ) or neighborhood_included(g, v, u), (sequence, u, v)
+
+    def test_non_threshold_has_incomparable_pair(self):
+        g = path_graph(4)
+        incomparable = [
+            (u, v)
+            for u in g.vertices()
+            for v in g.vertices()
+            if u < v
+            and not neighborhood_included(g, u, v)
+            and not neighborhood_included(g, v, u)
+        ]
+        assert incomparable
+
+    @pytest.mark.parametrize("sequence", ["idid", "iiddd", "ididiidd"])
+    def test_threshold_skyline_is_single_vertex(self, sequence):
+        # Totality collapses the skyline to one equivalence class, and
+        # the ID tie-break picks exactly one representative — unless the
+        # graph has isolated vertices, which stay by convention.
+        from repro.core import neighborhood_skyline
+
+        g = threshold_graph(sequence)
+        isolated = sum(1 for u in g.vertices() if g.degree(u) == 0)
+        assert neighborhood_skyline(g).size == 1 + isolated

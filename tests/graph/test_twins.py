@@ -1,0 +1,89 @@
+"""Tests for twin-vertex detection."""
+
+from repro.core.domination import (
+    edge_constrained_included,
+    neighborhood_included,
+)
+from repro.graph.adjacency import Graph
+from repro.graph.generators import (
+    complete_graph,
+    copying_power_law,
+    path_graph,
+    star_graph,
+)
+from repro.graph.twins import (
+    false_twin_classes,
+    true_twin_classes,
+    twin_representatives,
+)
+
+
+class TestFalseTwins:
+    def test_star_leaves_are_false_twins(self, star7):
+        classes = {tuple(c) for c in false_twin_classes(star7)}
+        assert (1, 2, 3, 4, 5, 6) in classes
+        assert (0,) in classes
+
+    def test_clique_has_no_false_twins(self, k5):
+        assert all(len(c) == 1 for c in false_twin_classes(k5))
+
+    def test_classes_partition(self, small_power_law):
+        classes = false_twin_classes(small_power_law)
+        seen = sorted(v for c in classes for v in c)
+        assert seen == list(small_power_law.vertices())
+
+    def test_false_twins_mutually_included(self):
+        g = copying_power_law(60, 2.7, 0.9, seed=2)
+        for cls in false_twin_classes(g):
+            for i, u in enumerate(cls):
+                for v in cls[i + 1 :]:
+                    assert neighborhood_included(g, u, v)
+                    assert neighborhood_included(g, v, u)
+                    assert not g.has_edge(u, v)
+
+
+class TestTrueTwins:
+    def test_clique_members_are_true_twins(self, k5):
+        classes = true_twin_classes(k5)
+        assert classes == [[0, 1, 2, 3, 4]]
+
+    def test_path_has_no_true_twins(self, p6):
+        assert all(len(c) == 1 for c in true_twin_classes(p6))
+
+    def test_true_twins_adjacent_and_mutually_edge_included(self):
+        g = complete_graph(4)
+        for cls in true_twin_classes(g):
+            for i, u in enumerate(cls):
+                for v in cls[i + 1 :]:
+                    assert g.has_edge(u, v)
+                    assert edge_constrained_included(g, u, v)
+
+
+class TestRepresentatives:
+    def test_representative_is_class_minimum(self, star7):
+        rep = twin_representatives(star7)
+        assert rep[1] == 1
+        assert all(rep[leaf] == 1 for leaf in range(2, 7))
+        assert rep[0] == 0
+
+    def test_closed_flag(self):
+        g = complete_graph(3)
+        assert twin_representatives(g, closed=True) == [0, 0, 0]
+        assert twin_representatives(g, closed=False) == [0, 1, 2]
+
+    def test_each_twin_class_contributes_at_most_one_skyline_vertex(self):
+        from repro.core import neighborhood_skyline
+
+        g = copying_power_law(80, 2.6, 0.9, seed=5)
+        skyline = set(neighborhood_skyline(g).skyline)
+        for cls in false_twin_classes(g):
+            members = [u for u in cls if g.degree(u) > 0]
+            assert len(skyline.intersection(members)) <= 1
+        for cls in true_twin_classes(g):
+            assert len(skyline.intersection(cls)) <= 1 or len(cls) == 1
+
+
+def test_isolated_vertices_form_one_false_class():
+    g = Graph.from_edges(4, [(0, 1)])
+    classes = false_twin_classes(g)
+    assert [2, 3] in classes

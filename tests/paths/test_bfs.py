@@ -1,0 +1,89 @@
+"""Tests for BFS primitives."""
+
+import math
+
+from repro.graph.adjacency import Graph
+from repro.paths.bfs import (
+    bfs_distances,
+    eccentricity,
+    multi_source_distances,
+)
+from repro.paths.distances import distance, set_distance, set_distance_profile
+
+
+class TestBfsDistances:
+    def test_path_distances(self, p6):
+        assert bfs_distances(p6, 0) == [0, 1, 2, 3, 4, 5]
+
+    def test_cycle_distances(self, c6):
+        assert bfs_distances(c6, 0) == [0, 1, 2, 3, 2, 1]
+
+    def test_unreachable_marked(self, disconnected):
+        dist = bfs_distances(disconnected, 0)
+        assert dist[0] == 0
+        assert dist[3] == -1
+        assert dist[8] == -1
+
+    def test_matches_networkx(self, karate):
+        nx = __import__("networkx")
+        G = nx.Graph(karate.edges())
+        for src in (0, 16, 33):
+            expected = nx.single_source_shortest_path_length(G, src)
+            ours = bfs_distances(karate, src)
+            for v, d in expected.items():
+                assert ours[v] == d
+
+
+class TestMultiSource:
+    def test_single_source_equivalence(self, karate):
+        assert multi_source_distances(karate, [5]) == bfs_distances(karate, 5)
+
+    def test_min_over_sources(self, p6):
+        dist = multi_source_distances(p6, [0, 5])
+        assert dist == [0, 1, 2, 2, 1, 0]
+
+    def test_empty_sources(self, p6):
+        assert multi_source_distances(p6, []) == [-1] * 6
+
+    def test_duplicate_sources_ok(self, p6):
+        assert multi_source_distances(p6, [2, 2]) == bfs_distances(p6, 2)
+
+    def test_agrees_with_per_source_min(self, karate):
+        group = [0, 33, 16]
+        combined = multi_source_distances(karate, group)
+        per_source = [bfs_distances(karate, s) for s in group]
+        for v in karate.vertices():
+            assert combined[v] == min(d[v] for d in per_source)
+
+
+class TestEccentricity:
+    def test_path_endpoint(self, p6):
+        assert eccentricity(p6, 0) == 5
+
+    def test_path_middle(self, p6):
+        assert eccentricity(p6, 2) == 3
+
+    def test_lonely_vertex(self):
+        assert eccentricity(Graph.from_edges(1, []), 0) == 0
+
+
+class TestDistanceHelpers:
+    def test_distance(self, p6):
+        assert distance(p6, 0, 4) == 4.0
+
+    def test_distance_infinite(self, disconnected):
+        assert distance(disconnected, 0, 3) == math.inf
+
+    def test_set_distance(self, p6):
+        assert set_distance(p6, 3, [0, 5]) == 2.0
+
+    def test_set_distance_empty_group(self, p6):
+        assert set_distance(p6, 3, []) == math.inf
+
+    def test_profile(self, p6):
+        profile = set_distance_profile(p6, [0])
+        assert profile == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_profile_with_inf(self, disconnected):
+        profile = set_distance_profile(disconnected, [0])
+        assert profile[8] == math.inf

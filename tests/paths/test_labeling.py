@@ -1,0 +1,93 @@
+"""Tests for the pruned-landmark-labeling distance oracle."""
+
+import pytest
+
+from repro.graph.adjacency import Graph
+from repro.graph.generators import (
+    complete_graph,
+    copying_power_law,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+from repro.paths.bfs import bfs_distances
+from repro.paths.labeling import DistanceOracle
+
+
+def assert_exact(graph, oracle):
+    for s in graph.vertices():
+        truth = bfs_distances(graph, s)
+        for t in graph.vertices():
+            expected = None if truth[t] == -1 else truth[t]
+            assert oracle.distance(s, t) == expected, (s, t)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("compress", [False, True])
+    def test_structured_graphs(self, compress):
+        for g in (
+            path_graph(7),
+            cycle_graph(8),
+            star_graph(7),
+            complete_graph(6),
+        ):
+            assert_exact(g, DistanceOracle(g, compress=compress))
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("compress", [False, True])
+    def test_random_graphs(self, seed, compress):
+        g = erdos_renyi(25, 0.12, seed=seed)
+        assert_exact(g, DistanceOracle(g, compress=compress))
+
+    @pytest.mark.parametrize("compress", [False, True])
+    def test_twin_heavy_graph(self, compress):
+        # The copying model mass-produces false twins — the stress case
+        # for compression.
+        g = copying_power_law(60, 2.8, 0.9, seed=4)
+        assert_exact(g, DistanceOracle(g, compress=compress))
+
+    def test_disconnected(self, disconnected):
+        oracle = DistanceOracle(disconnected)
+        assert oracle.distance(0, 3) is None
+        assert oracle.distance(8, 0) is None
+        assert oracle.distance(8, 8) == 0
+
+    def test_karate(self, karate):
+        assert_exact(karate, DistanceOracle(karate, compress=True))
+
+
+class TestCompression:
+    def test_star_labels_shrink(self, star7):
+        plain = DistanceOracle(star7).label_entries()
+        shared = DistanceOracle(star7, compress=True).label_entries()
+        assert shared < plain
+
+    def test_compression_never_grows_labels(self):
+        for seed in range(4):
+            g = copying_power_law(50, 2.5, 0.9, seed=seed)
+            plain = DistanceOracle(g).label_entries()
+            shared = DistanceOracle(g, compress=True).label_entries()
+            assert shared <= plain
+
+    def test_twin_pair_distance_is_two(self):
+        # Two leaves of a star are false twins at distance 2.
+        oracle = DistanceOracle(star_graph(5), compress=True)
+        assert oracle.distance(1, 2) == 2
+        assert oracle.distance(2, 1) == 2
+
+    def test_isolated_twins_disconnected(self):
+        g = Graph.from_edges(3, [])
+        oracle = DistanceOracle(g, compress=True)
+        assert oracle.distance(0, 1) is None
+
+
+class TestLabelSizes:
+    def test_pruning_beats_full_apsp(self):
+        # PLL labels must be far below n^2/2 entries on a hubby graph.
+        g = copying_power_law(120, 2.5, 0.9, seed=9)
+        oracle = DistanceOracle(g)
+        assert oracle.label_entries() < g.num_vertices**2 / 4
+
+    def test_entries_positive(self, karate):
+        assert DistanceOracle(karate).label_entries() > 0

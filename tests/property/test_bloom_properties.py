@@ -1,0 +1,78 @@
+"""Property-based tests for the bloom-filter layer."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bloom.filter import BloomFilter
+from repro.bloom.vertex_filters import VertexBloomIndex
+from tests.conftest import graphs
+
+COMMON = settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+elements = st.sets(st.integers(min_value=0, max_value=10_000), max_size=40)
+widths = st.sampled_from([32, 64, 128, 256, 1024])
+
+
+@COMMON
+@given(elements, widths)
+def test_no_false_negatives(xs, bits):
+    bf = BloomFilter.from_elements(xs, bits=bits)
+    assert all(bf.might_contain(x) for x in xs)
+
+
+@COMMON
+@given(elements, elements, widths)
+def test_subset_check_sound(xs, ys, bits):
+    # True subsets must always pass the filter pre-check.
+    bf_small = BloomFilter.from_elements(xs, bits=bits)
+    bf_big = BloomFilter.from_elements(xs | ys, bits=bits)
+    assert bf_small.is_subset_of(bf_big)
+
+
+@COMMON
+@given(elements, elements, widths)
+def test_subset_reject_implies_not_subset(xs, ys, bits):
+    a = BloomFilter.from_elements(xs, bits=bits)
+    b = BloomFilter.from_elements(ys, bits=bits)
+    if not a.is_subset_of(b):
+        assert not xs <= ys
+
+
+@COMMON
+@given(elements, widths)
+def test_popcount_bounded_by_cardinality_and_width(xs, bits):
+    bf = BloomFilter.from_elements(xs, bits=bits)
+    assert bf.popcount <= min(len(xs), bits)
+
+
+@COMMON
+@given(graphs())
+def test_vertex_index_member_check_sound(g):
+    idx = VertexBloomIndex(g, g.vertices())
+    for u in g.vertices():
+        for v in g.neighbors(u):
+            assert idx.member_maybe(u, v)
+
+
+@COMMON
+@given(graphs())
+def test_vertex_index_subset_check_sound(g):
+    idx = VertexBloomIndex(g, g.vertices())
+    for u in g.vertices():
+        for w in g.vertices():
+            if set(g.neighbors(u)) <= set(g.neighbors(w)):
+                assert idx.subset_maybe(u, w)
+
+
+@COMMON
+@given(graphs())
+def test_member_reject_implies_nonmember(g):
+    idx = VertexBloomIndex(g, g.vertices())
+    for u in g.vertices():
+        for x in range(g.num_vertices):
+            if not idx.member_maybe(u, x):
+                assert not g.has_edge(u, x)

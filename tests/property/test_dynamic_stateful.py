@@ -1,0 +1,74 @@
+"""Stateful property test: DynamicSkyline vs recompute-from-scratch.
+
+Hypothesis drives an arbitrary interleaving of edge insertions and
+deletions against :class:`DynamicSkyline`; after every step the
+maintained skyline must equal a fresh FilterRefineSky run on the same
+edge set, and the internal graph snapshot must match the shadow edge
+set exactly.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core.dynamic import DynamicSkyline
+from repro.core.filter_refine import filter_refine_sky
+from repro.graph.adjacency import Graph
+from repro.graph.generators import erdos_renyi
+
+N = 12
+
+
+class DynamicSkylineMachine(RuleBasedStateMachine):
+    @initialize(seed=st.integers(0, 1000))
+    def setup(self, seed):
+        graph = erdos_renyi(N, 0.2, seed=seed)
+        self.edges = set(graph.edges())
+        self.dynamic = DynamicSkyline(graph)
+
+    @rule(u=st.integers(0, N - 1), v=st.integers(0, N - 1))
+    def flip_edge(self, u, v):
+        if u == v:
+            return
+        edge = (min(u, v), max(u, v))
+        if edge in self.edges:
+            self.dynamic.delete_edge(*edge)
+            self.edges.discard(edge)
+        else:
+            self.dynamic.insert_edge(*edge)
+            self.edges.add(edge)
+
+    @rule(u=st.integers(0, N - 1), v=st.integers(0, N - 1))
+    def insert_if_absent(self, u, v):
+        if u == v:
+            return
+        edge = (min(u, v), max(u, v))
+        if edge not in self.edges:
+            self.dynamic.insert_edge(*edge)
+            self.edges.add(edge)
+
+    @invariant()
+    def skyline_matches_recompute(self):
+        if not hasattr(self, "edges"):
+            return  # before initialize
+        expected = filter_refine_sky(
+            Graph.from_edges(N, self.edges)
+        ).skyline
+        assert self.dynamic.skyline == expected
+
+    @invariant()
+    def snapshot_matches_shadow(self):
+        if not hasattr(self, "edges"):
+            return
+        assert set(self.dynamic.to_graph().edges()) == self.edges
+
+
+DynamicSkylineMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None
+)
+TestDynamicSkylineStateful = DynamicSkylineMachine.TestCase

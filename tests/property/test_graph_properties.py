@@ -1,0 +1,94 @@
+"""Property-based tests for the graph substrate."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph.components import connected_components
+from repro.graph.sampling import sample_edges, sample_vertices
+from repro.graph.stats import degree_histogram, graph_stats
+from repro.graph.validation import validate_graph
+from tests.conftest import connected_graphs, graphs
+
+COMMON = settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@COMMON
+@given(graphs())
+def test_generated_graphs_validate(g):
+    validate_graph(g)
+
+
+@COMMON
+@given(graphs())
+def test_handshake_lemma(g):
+    assert sum(g.degree(u) for u in g.vertices()) == 2 * g.num_edges
+
+
+@COMMON
+@given(graphs())
+def test_degree_histogram_sums(g):
+    hist = degree_histogram(g)
+    assert sum(hist) == g.num_vertices
+    assert sum(d * c for d, c in enumerate(hist)) == 2 * g.num_edges
+
+
+@COMMON
+@given(graphs())
+def test_components_partition(g):
+    comps = connected_components(g)
+    seen = sorted(v for comp in comps for v in comp)
+    assert seen == list(g.vertices())
+    assert sum(len(c) for c in comps) == g.num_vertices
+
+
+@COMMON
+@given(connected_graphs())
+def test_connected_strategy_is_connected(g):
+    assert len(connected_components(g)) <= 1
+
+
+@COMMON
+@given(graphs(), st.floats(min_value=0.0, max_value=1.0), st.integers(0, 99))
+def test_vertex_sampling_valid_and_sized(g, fraction, seed):
+    sub = sample_vertices(g, fraction, seed=seed)
+    validate_graph(sub)
+    assert sub.num_vertices == round(fraction * g.num_vertices)
+
+
+@COMMON
+@given(graphs(), st.floats(min_value=0.0, max_value=1.0), st.integers(0, 99))
+def test_edge_sampling_valid_and_sized(g, fraction, seed):
+    sub = sample_edges(g, fraction, seed=seed)
+    validate_graph(sub)
+    assert sub.num_edges == round(fraction * g.num_edges)
+    assert sub.num_vertices == g.num_vertices
+
+
+@COMMON
+@given(graphs())
+def test_stats_consistent(g):
+    s = graph_stats(g)
+    assert s.num_vertices == g.num_vertices
+    assert s.num_edges == g.num_edges
+    if g.num_vertices:
+        assert s.max_degree == max(g.degree(u) for u in g.vertices())
+
+
+@COMMON
+@given(graphs())
+def test_induced_subgraph_on_all_vertices_is_identity(g):
+    sub, mapping = g.induced_subgraph(g.vertices())
+    assert sub == g
+    assert mapping == list(g.vertices())
+
+
+@COMMON
+@given(graphs())
+def test_edges_iter_matches_has_edge(g):
+    for u, v in g.edges():
+        assert g.has_edge(u, v)
+        assert g.has_edge(v, u)

@@ -1,0 +1,109 @@
+"""Property-based tests for the skyline algorithms (hypothesis)."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.api import neighborhood_candidates, neighborhood_skyline
+from repro.core.domination import (
+    dominates,
+    neighborhood_included,
+    two_hop_neighbors,
+)
+from tests.conftest import graphs, power_law_graphs
+
+COMMON = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@COMMON
+@given(graphs())
+def test_all_algorithms_agree(g):
+    reference = neighborhood_skyline(g, "naive").skyline
+    for name in ("base", "filter_refine", "two_hop", "cset", "lc_join"):
+        assert neighborhood_skyline(g, name).skyline == reference
+
+
+@COMMON
+@given(power_law_graphs())
+def test_all_algorithms_agree_power_law(g):
+    reference = neighborhood_skyline(g, "naive").skyline
+    for name in ("base", "filter_refine", "two_hop", "cset", "lc_join"):
+        assert neighborhood_skyline(g, name).skyline == reference
+
+
+@COMMON
+@given(graphs())
+def test_skyline_subset_of_candidates(g):
+    skyline = set(neighborhood_skyline(g).skyline)
+    candidates = set(neighborhood_candidates(g))
+    assert skyline <= candidates
+
+
+@COMMON
+@given(graphs())
+def test_skyline_members_truly_undominated(g):
+    skyline = neighborhood_skyline(g, "naive").skyline
+    for u in skyline:
+        for w in two_hop_neighbors(g, u):
+            assert not dominates(g, w, u)
+
+
+@COMMON
+@given(graphs())
+def test_excluded_vertices_have_inclusion_witness(g):
+    result = neighborhood_skyline(g, "filter_refine")
+    for u, w in enumerate(result.dominator):
+        if w != u:
+            assert neighborhood_included(g, u, w)
+
+
+@COMMON
+@given(graphs())
+def test_excluded_vertices_are_genuinely_dominated(g):
+    result = neighborhood_skyline(g)
+    skyline = result.skyline_set
+    for u in g.vertices():
+        if u not in skyline:
+            assert any(
+                dominates(g, w, u) for w in two_hop_neighbors(g, u)
+            )
+
+
+@COMMON
+@given(graphs())
+def test_skyline_nonempty_on_nonempty_graph(g):
+    # Every finite non-empty graph has an undominated vertex (the
+    # domination order is a strict partial order).
+    if g.num_vertices > 0:
+        assert neighborhood_skyline(g).size >= 1
+
+
+@COMMON
+@given(graphs())
+def test_dominator_array_shape(g):
+    result = neighborhood_skyline(g)
+    assert len(result.dominator) == g.num_vertices
+    for u, w in enumerate(result.dominator):
+        assert 0 <= w < max(1, g.num_vertices)
+        assert (w == u) == (u in result.skyline_set)
+
+
+@COMMON
+@given(graphs())
+def test_domination_is_irreflexive_and_antisymmetric(g):
+    for u in g.vertices():
+        assert not dominates(g, u, u)
+        for w in two_hop_neighbors(g, u):
+            assert not (dominates(g, u, w) and dominates(g, w, u))
+
+
+@COMMON
+@given(power_law_graphs())
+def test_bloom_width_never_changes_answer(g):
+    from repro.core.filter_refine import filter_refine_sky
+
+    wide = filter_refine_sky(g, bloom_bits=2048).skyline
+    narrow = filter_refine_sky(g, bloom_bits=32).skyline
+    assert wide == narrow

@@ -1,0 +1,106 @@
+"""Tests for the repro-sky command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_datasets_lists_registry(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "karate" in out
+    assert "wikitalk_sim" in out
+
+
+def test_skyline_on_dataset(capsys):
+    assert main(["skyline", "--dataset", "karate"]) == 0
+    out = capsys.readouterr().out
+    assert "|R| = 15" in out
+
+
+def test_skyline_with_stats_and_vertices(capsys):
+    code = main(
+        ["skyline", "--dataset", "karate", "--stats", "--show-vertices"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "pair_tests" in out
+
+
+def test_skyline_algorithm_choice(capsys):
+    assert main(["skyline", "--dataset", "karate", "--algorithm", "base"]) == 0
+    assert "BaseSky" in capsys.readouterr().out
+
+
+def test_skyline_from_edge_list(tmp_path, capsys):
+    path = tmp_path / "g.txt"
+    path.write_text("0 1\n1 2\n2 0\n")
+    assert main(["skyline", "--edge-list", str(path)]) == 0
+    assert "|R| = 1" in capsys.readouterr().out
+
+
+def test_group_closeness(capsys):
+    assert main(["group", "--dataset", "karate", "--k", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "NeiSky group-closeness" in out
+
+
+def test_group_harmonic_base_variant(capsys):
+    code = main(
+        [
+            "group",
+            "--dataset",
+            "karate",
+            "--measure",
+            "harmonic",
+            "--k",
+            "2",
+            "--no-skyline",
+        ]
+    )
+    assert code == 0
+    assert "Base group-harmonic" in capsys.readouterr().out
+
+
+def test_clique_single(capsys):
+    assert main(["clique", "--dataset", "karate"]) == 0
+    out = capsys.readouterr().out
+    assert "size 5" in out
+
+
+def test_clique_topk_base(capsys):
+    code = main(
+        ["clique", "--dataset", "karate", "--top-k", "3", "--no-skyline"]
+    )
+    assert code == 0
+    assert "#3" in capsys.readouterr().out
+
+
+def test_unknown_dataset_is_clean_error(capsys):
+    assert main(["skyline", "--dataset", "nope"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_both_sources():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(
+            ["skyline", "--dataset", "x", "--edge-list", "y"]
+        )
+
+
+def test_skyline_layers_flag(capsys):
+    assert main(["skyline", "--dataset", "karate", "--layers"]) == 0
+    out = capsys.readouterr().out
+    assert "layer 1: 15 vertices" in out
+
+
+def test_stats_command(capsys):
+    assert main(["stats", "--dataset", "karate"]) == 0
+    out = capsys.readouterr().out
+    assert "triangles           45" in out
+    assert "max degree          17" in out

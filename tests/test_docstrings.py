@@ -1,0 +1,62 @@
+"""Quality gate: every public module, class and function is documented."""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+
+def _public_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if any(part.startswith("_") for part in info.name.split(".")):
+            continue
+        yield importlib.import_module(info.name)
+
+
+def test_all_modules_have_docstrings():
+    undocumented = [
+        module.__name__
+        for module in _public_modules()
+        if not (module.__doc__ or "").strip()
+    ]
+    assert not undocumented, f"modules without docstrings: {undocumented}"
+
+
+def test_all_public_callables_have_docstrings():
+    undocumented = []
+    for module in _public_modules():
+        exported = getattr(module, "__all__", None)
+        if exported is None:
+            continue
+        for name in exported:
+            obj = getattr(module, name)
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                if not (inspect.getdoc(obj) or "").strip():
+                    undocumented.append(f"{module.__name__}.{name}")
+    assert not undocumented, (
+        f"public callables without docstrings: {undocumented}"
+    )
+
+
+def test_all_public_methods_have_docstrings():
+    undocumented = []
+    for module in _public_modules():
+        exported = getattr(module, "__all__", None) or ()
+        for name in exported:
+            obj = getattr(module, name)
+            if not inspect.isclass(obj):
+                continue
+            for attr_name, attr in vars(obj).items():
+                if attr_name.startswith("_"):
+                    continue
+                if inspect.isfunction(attr) and not (
+                    inspect.getdoc(attr) or ""
+                ).strip():
+                    undocumented.append(
+                        f"{module.__name__}.{name}.{attr_name}"
+                    )
+    assert not undocumented, (
+        f"public methods without docstrings: {undocumented}"
+    )

@@ -1,0 +1,42 @@
+"""Tests for the exception hierarchy and package surface."""
+
+import repro
+from repro.errors import (
+    DatasetNotFoundError,
+    GraphFormatError,
+    ParameterError,
+    ReproError,
+)
+
+
+def test_hierarchy():
+    assert issubclass(GraphFormatError, ReproError)
+    assert issubclass(ParameterError, ReproError)
+    assert issubclass(DatasetNotFoundError, ReproError)
+    assert issubclass(DatasetNotFoundError, KeyError)
+
+
+def test_dataset_error_message():
+    err = DatasetNotFoundError("x", ("a", "b"))
+    assert "x" in str(err)
+    assert "a, b" in str(err)
+
+
+def test_version_exposed():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_exports():
+    assert callable(repro.neighborhood_skyline)
+    assert callable(repro.neighborhood_candidates)
+    assert repro.Graph is not None
+    assert repro.GraphBuilder is not None
+
+
+def test_one_error_type_catches_everything(karate):
+    import pytest
+
+    with pytest.raises(ReproError):
+        repro.neighborhood_skyline(karate, "bogus")
+    with pytest.raises(ReproError):
+        repro.Graph.from_edges(1, [(0, 0)])

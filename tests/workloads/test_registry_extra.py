@@ -1,0 +1,36 @@
+"""Additional registry behaviour: caching, verification, descriptions."""
+
+import pytest
+
+from repro.core import filter_refine_sky, verify_skyline
+from repro.workloads import load, names, spec
+
+
+def test_load_is_cached():
+    assert load("karate") is load("karate")
+
+
+def test_every_dataset_has_description_and_kind():
+    for name in names():
+        s = spec(name)
+        assert s.description
+        assert s.kind in ("embedded", "standin")
+
+
+def test_paper_stats_present_for_table1_and_cases():
+    for name in (
+        "notredame_sim",
+        "youtube_sim",
+        "wikitalk_sim",
+        "flixster_sim",
+        "dblp_sim",
+        "karate",
+        "bombing_proxy",
+    ):
+        assert spec(name).paper is not None
+
+
+@pytest.mark.parametrize("name", ["karate", "bombing_proxy", "wikitalk_sim"])
+def test_registry_skylines_verify_independently(name):
+    g = load(name)
+    verify_skyline(g, filter_refine_sky(g))

@@ -1,0 +1,165 @@
+"""Tests for the dataset registry and synthetic building blocks."""
+
+import pytest
+
+from repro.errors import DatasetNotFoundError, ParameterError
+from repro.graph.generators import erdos_renyi
+from repro.graph.validation import validate_graph
+from repro.workloads import TABLE1_NAMES, load, names, spec
+from repro.workloads.bombing import BOMBING_M, BOMBING_N, bombing_proxy
+from repro.workloads.synthetic import (
+    DEFAULT_CLIQUE_LADDER,
+    attach_hub_satellites,
+    plant_cliques,
+)
+
+
+class TestRegistry:
+    def test_names_sorted_and_nonempty(self):
+        assert list(names()) == sorted(names())
+        assert len(names()) >= 10
+
+    def test_table1_names_registered(self):
+        assert set(TABLE1_NAMES) <= set(names())
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(DatasetNotFoundError, match="unknown dataset"):
+            load("no_such_graph")
+
+    def test_error_lists_known_names(self):
+        try:
+            load("nope")
+        except DatasetNotFoundError as exc:
+            assert "karate" in str(exc)
+
+    def test_loads_are_deterministic(self):
+        assert load("youtube_sim") == load("youtube_sim")
+
+    @pytest.mark.parametrize("name", ["karate", "bombing_proxy"])
+    def test_case_study_sizes(self, name):
+        g = load(name)
+        expected = spec(name).paper
+        assert g.num_vertices == expected.num_vertices
+        assert g.num_edges == expected.num_edges
+
+    @pytest.mark.parametrize(
+        "name", TABLE1_NAMES + ("livejournal_sim", "pokec_sim", "orkut_sim")
+    )
+    def test_standins_structurally_valid(self, name):
+        validate_graph(load(name))
+
+    @pytest.mark.parametrize("name", TABLE1_NAMES)
+    def test_standins_have_small_skylines(self, name):
+        # The core shape claim of Fig. 5: |R| well below |V|.
+        from repro.core.filter_refine import filter_refine_sky
+
+        g = load(name)
+        result = filter_refine_sky(g)
+        assert result.size < 0.5 * g.num_vertices
+        assert result.candidate_size < 0.55 * g.num_vertices
+
+    def test_wikitalk_is_most_skyline_sparse(self):
+        from repro.core.filter_refine import filter_refine_sky
+
+        fractions = {}
+        for name in TABLE1_NAMES:
+            g = load(name)
+            fractions[name] = filter_refine_sky(g).size / g.num_vertices
+        assert min(fractions, key=fractions.get) == "wikitalk_sim"
+
+    def test_spec_metadata(self):
+        s = spec("wikitalk_sim")
+        assert s.kind == "standin"
+        assert s.paper.max_degree == 100_029
+
+
+class TestBombingProxy:
+    def test_sizes_exact(self):
+        g = bombing_proxy()
+        assert g.num_vertices == BOMBING_N
+        assert g.num_edges == BOMBING_M
+
+    def test_deterministic(self):
+        assert bombing_proxy() == bombing_proxy()
+
+    def test_valid(self):
+        validate_graph(bombing_proxy())
+
+
+class TestPlantCliques:
+    def test_clique_edges_present(self):
+        g = plant_cliques(erdos_renyi(30, 0.02, seed=1), [6], seed=2)
+        from repro.clique.mcbrb import mc_brb
+
+        assert len(mc_brb(g)) >= 6
+
+    def test_default_ladder_used(self):
+        assert max(DEFAULT_CLIQUE_LADDER) == 18
+
+    def test_vertex_count_unchanged(self):
+        base = erdos_renyi(30, 0.05, seed=1)
+        assert plant_cliques(base, [5], seed=1).num_vertices == 30
+
+    def test_existing_edges_kept(self):
+        base = erdos_renyi(30, 0.1, seed=1)
+        planted = plant_cliques(base, [4], seed=1)
+        assert set(base.edges()) <= set(planted.edges())
+
+    def test_size_validation(self):
+        base = erdos_renyi(10, 0.1, seed=1)
+        with pytest.raises(ParameterError):
+            plant_cliques(base, [1], seed=1)
+        with pytest.raises(ParameterError):
+            plant_cliques(base, [11], seed=1)
+
+    def test_deterministic(self):
+        base = erdos_renyi(30, 0.05, seed=1)
+        assert plant_cliques(base, [5, 4], seed=9) == plant_cliques(
+            base, [5, 4], seed=9
+        )
+
+
+class TestHubSatellites:
+    def test_vertex_count_grows(self):
+        base = erdos_renyi(20, 0.2, seed=1)
+        g = attach_hub_satellites(base, 2, 10, seed=1)
+        assert g.num_vertices == 40
+
+    def test_satellites_edge_dominated(self):
+        from repro.core.domination import edge_constrained_dominates
+
+        base = erdos_renyi(20, 0.2, seed=1)
+        g = attach_hub_satellites(base, 1, 15, seed=2)
+        hub = max(base.vertices(), key=base.degree)
+        for sat in range(20, 35):
+            assert edge_constrained_dominates(g, hub, sat) or any(
+                edge_constrained_dominates(g, w, sat)
+                for w in g.neighbors(sat)
+            )
+
+    def test_satellite_neighbors_inside_hub_closure(self):
+        base = erdos_renyi(20, 0.2, seed=3)
+        g = attach_hub_satellites(base, 1, 12, seed=3)
+        hub = max(base.vertices(), key=base.degree)
+        closure = set(g.neighbors(hub)) | {hub}
+        for sat in range(20, 32):
+            assert set(g.neighbors(sat)) <= closure
+
+    def test_parameter_validation(self):
+        base = erdos_renyi(5, 0.5, seed=1)
+        with pytest.raises(ParameterError):
+            attach_hub_satellites(base, 0, 5)
+        with pytest.raises(ParameterError):
+            attach_hub_satellites(base, 9, 5)
+        with pytest.raises(ParameterError):
+            attach_hub_satellites(base, 1, 5, max_satellite_degree=0)
+
+    def test_deterministic(self):
+        base = erdos_renyi(20, 0.2, seed=1)
+        assert attach_hub_satellites(base, 2, 8, seed=5) == (
+            attach_hub_satellites(base, 2, 8, seed=5)
+        )
+
+    def test_valid(self):
+        base = erdos_renyi(25, 0.15, seed=4)
+        validate_graph(attach_hub_satellites(base, 3, 20, seed=4))
