@@ -25,7 +25,9 @@ from typing import Optional, Sequence
 from repro.centrality import base_gc, base_gh, neisky_gc, neisky_gh
 from repro.clique import base_topk_mcc, mc_brb, neisky_mc, neisky_topk_mcc
 from repro.core import ALGORITHMS, SkylineCounters, neighborhood_skyline
-from repro.errors import ReproError
+from repro.core.result import SkylineResult
+from repro.errors import ParameterError, ReproError
+from repro.parallel import parallel_refine_sky
 from repro.graph.adjacency import Graph
 from repro.graph.io import read_edge_list
 from repro.graph.stats import graph_stats
@@ -43,6 +45,44 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     source.add_argument(
         "--edge-list", help="path to a whitespace edge-list file"
     )
+
+
+def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for the skyline refine phase; N > 1 uses "
+            "the parallel engine (identical output, see docs)"
+        ),
+    )
+
+
+def _validated_workers(args: argparse.Namespace) -> int:
+    workers = args.workers
+    if workers < 1:
+        raise ParameterError(
+            f"--workers must be a positive integer, got {workers}"
+        )
+    return workers
+
+
+def _parallel_skyline(
+    graph: Graph, args: argparse.Namespace
+) -> Optional[SkylineResult]:
+    """The precomputed skyline for ``group``/``clique`` when ``--workers`` asks
+    for the parallel engine; ``None`` means "let the runner compute it"."""
+    workers = _validated_workers(args)
+    if workers == 1:
+        return None
+    if args.no_skyline:
+        raise ParameterError(
+            "--workers accelerates the skyline computation; it cannot be "
+            "combined with --no-skyline"
+        )
+    return parallel_refine_sky(graph, workers=workers)
 
 
 def _load_graph(args: argparse.Namespace) -> Graph:
@@ -67,9 +107,22 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
 def _cmd_skyline(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     counters = SkylineCounters() if args.stats else None
+    workers = _validated_workers(args)
+    algorithm = args.algorithm
+    options = {}
+    if algorithm == "filter_refine_parallel":
+        options["workers"] = workers
+    elif workers != 1:
+        if algorithm != "filter_refine":
+            raise ParameterError(
+                f"--workers applies to the filter_refine family, not "
+                f"{algorithm!r}"
+            )
+        algorithm = "filter_refine_parallel"
+        options["workers"] = workers
     start = time.perf_counter()
     result = neighborhood_skyline(
-        graph, algorithm=args.algorithm, counters=counters
+        graph, algorithm=algorithm, counters=counters, **options
     )
     elapsed = time.perf_counter() - start
     print(
@@ -99,12 +152,16 @@ def _cmd_skyline(args: argparse.Namespace) -> int:
 
 def _cmd_group(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
+    precomputed = _parallel_skyline(graph, args)
     if args.measure == "closeness":
         run = base_gc if args.no_skyline else neisky_gc
     else:
         run = base_gh if args.no_skyline else neisky_gh
     start = time.perf_counter()
-    result = run(graph, args.k)
+    if precomputed is None:
+        result = run(graph, args.k)
+    else:
+        result = run(graph, args.k, skyline=precomputed.skyline)
     elapsed = time.perf_counter() - start
     label = "Base" if args.no_skyline else "NeiSky"
     print(
@@ -141,15 +198,23 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_clique(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
+    precomputed = _parallel_skyline(graph, args)
     start = time.perf_counter()
     if args.top_k == 1:
-        clique = (
-            mc_brb(graph) if args.no_skyline else neisky_mc(graph)
-        )
+        if args.no_skyline:
+            clique = mc_brb(graph)
+        else:
+            clique = neisky_mc(
+                graph,
+                skyline=None if precomputed is None else precomputed.skyline,
+            )
         cliques = [clique]
+    elif args.no_skyline:
+        cliques = base_topk_mcc(graph, args.top_k)
     else:
-        run = base_topk_mcc if args.no_skyline else neisky_topk_mcc
-        cliques = run(graph, args.top_k)
+        cliques = neisky_topk_mcc(
+            graph, args.top_k, skyline_result=precomputed
+        )
     elapsed = time.perf_counter() - start
     label = "Base" if args.no_skyline else "NeiSky"
     print(f"{label} top-{args.top_k} maximum cliques ({elapsed:.3f}s):")
@@ -175,9 +240,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_sky.add_argument(
         "--algorithm",
         default="filter_refine",
-        choices=sorted(ALGORITHMS),
-        help="skyline algorithm (default: filter_refine)",
+        metavar="NAME",
+        # Validated by neighborhood_skyline (ParameterError → exit 2) so
+        # the message lists the registry instead of argparse's usage dump.
+        help=(
+            "skyline algorithm (default: filter_refine); one of "
+            + ", ".join(sorted(ALGORITHMS))
+        ),
     )
+    _add_workers_argument(p_sky)
     p_sky.add_argument(
         "--stats", action="store_true", help="print work counters"
     )
@@ -212,6 +283,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable skyline pruning (Base* variant)",
     )
+    _add_workers_argument(p_grp)
 
     p_stats = sub.add_parser(
         "stats", help="structural statistics of a graph"
@@ -228,6 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable skyline pruning (Base* variant)",
     )
+    _add_workers_argument(p_clq)
     return parser
 
 

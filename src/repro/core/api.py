@@ -20,13 +20,15 @@ from repro.core.result import SkylineResult
 from repro.core.two_hop import base_two_hop_sky
 from repro.errors import ParameterError
 from repro.graph.adjacency import Graph
+from repro.parallel.engine import parallel_refine_sky
 
 __all__ = ["neighborhood_skyline", "neighborhood_candidates", "ALGORITHMS"]
 
 #: Name → implementation for every skyline algorithm in the paper's Exp-1,
-#: plus the naive reference.
+#: plus the naive reference and the multi-worker refine engine.
 ALGORITHMS: dict[str, Callable[..., SkylineResult]] = {
     "filter_refine": filter_refine_sky,
+    "filter_refine_parallel": parallel_refine_sky,
     "base": base_sky,
     "two_hop": base_two_hop_sky,
     "cset": base_cset_sky,
@@ -50,15 +52,17 @@ def neighborhood_skyline(
         The input graph.
     algorithm:
         One of ``"filter_refine"`` (the paper's FilterRefineSky — the
-        default and fastest), ``"base"`` (BaseSky), ``"two_hop"``
-        (Base2Hop), ``"cset"`` (BaseCSet), ``"lc_join"`` (the
-        containment-join baseline) or ``"naive"`` (the quadratic
-        reference).
+        default and fastest), ``"filter_refine_parallel"`` (the same
+        result computed with a multi-worker refine phase), ``"base"``
+        (BaseSky), ``"two_hop"`` (Base2Hop), ``"cset"`` (BaseCSet),
+        ``"lc_join"`` (the containment-join baseline) or ``"naive"``
+        (the quadratic reference).
     counters:
         Optional :class:`SkylineCounters` to collect work statistics.
     options:
         Algorithm-specific keywords, e.g. ``bloom_bits`` / ``seed`` /
-        ``exact`` for ``"filter_refine"`` and ``"two_hop"``.
+        ``exact`` for ``"filter_refine"`` and ``"two_hop"``, or
+        ``workers`` / ``chunk_size`` for ``"filter_refine_parallel"``.
 
     >>> from repro.graph.generators import complete_graph
     >>> neighborhood_skyline(complete_graph(5)).skyline

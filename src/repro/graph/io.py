@@ -32,8 +32,25 @@ PathOrFile = Union[str, os.PathLike, IO[str]]
 
 def _open_for_read(source: PathOrFile) -> tuple[IO[str], bool]:
     if isinstance(source, (str, os.PathLike)):
-        return open(source, "r", encoding="utf-8"), True
+        try:
+            return open(source, "r", encoding="utf-8"), True
+        except OSError as exc:
+            raise GraphFormatError(
+                f"{_source_label(source)}: {exc.strerror or exc}"
+            ) from exc
     return source, False
+
+
+def _source_label(source: PathOrFile) -> str:
+    """A name for ``source`` usable in error messages.
+
+    Paths render as themselves; file objects use their ``name`` when
+    they have one (open files do, ``StringIO`` does not).
+    """
+    if isinstance(source, (str, os.PathLike)):
+        return str(os.fspath(source))
+    name = getattr(source, "name", None)
+    return str(name) if name else "<edge list>"
 
 
 def read_edge_list(
@@ -62,7 +79,11 @@ def read_edge_list(
         Real-world dumps routinely repeat edges (and list both
         orientations); with the default ``True`` they are silently
         deduplicated.  Set to ``False`` to make repeats an error.
+
+    Malformed rows raise :class:`GraphFormatError` naming the source
+    file and the 1-based line number.
     """
+    label = _source_label(source)
     fh, should_close = _open_for_read(source)
     pairs: list[tuple[int, int]] = []
     try:
@@ -73,18 +94,20 @@ def read_edge_list(
             fields = stripped.split()
             if len(fields) < 2:
                 raise GraphFormatError(
-                    f"line {lineno}: expected two vertex ids, got {stripped!r}"
+                    f"{label}: line {lineno}: expected two vertex ids, "
+                    f"got {stripped!r}"
                 )
             try:
                 u, v = int(fields[0]) - base, int(fields[1]) - base
             except ValueError as exc:
                 raise GraphFormatError(
-                    f"line {lineno}: non-integer vertex id in {stripped!r}"
+                    f"{label}: line {lineno}: non-integer vertex id in "
+                    f"{stripped!r}"
                 ) from exc
             if u < 0 or v < 0:
                 raise GraphFormatError(
-                    f"line {lineno}: negative vertex id after applying "
-                    f"base={base}"
+                    f"{label}: line {lineno}: negative vertex id after "
+                    f"applying base={base}"
                 )
             if u == v:
                 # Self-loops appear in some raw dumps; the paper's model is
@@ -103,7 +126,7 @@ def read_edge_list(
     builder = GraphBuilder()
     for u, v in pairs:
         if not allow_duplicates and builder.has_edge(u, v):
-            raise GraphFormatError(f"duplicate edge ({u}, {v})")
+            raise GraphFormatError(f"{label}: duplicate edge ({u}, {v})")
         builder.add_edge(u, v)
     return builder.build()
 

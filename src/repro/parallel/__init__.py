@@ -1,0 +1,22 @@
+"""Parallel execution engine for the filter–refine skyline.
+
+:func:`~repro.parallel.engine.parallel_refine_sky` is the entry point;
+it is also registered as ``algorithm="filter_refine_parallel"`` with
+:func:`repro.core.api.neighborhood_skyline` and behind the CLI's
+``--workers`` flag.
+"""
+
+from repro.parallel.chunks import chunk_ranges, default_chunk_size
+from repro.parallel.engine import (
+    SMALL_GRAPH_EDGES,
+    default_worker_count,
+    parallel_refine_sky,
+)
+
+__all__ = [
+    "SMALL_GRAPH_EDGES",
+    "chunk_ranges",
+    "default_chunk_size",
+    "default_worker_count",
+    "parallel_refine_sky",
+]

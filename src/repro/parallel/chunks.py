@@ -1,0 +1,51 @@
+"""Candidate-set chunking for the parallel refine engine.
+
+The candidate set ``C`` of the filter phase is sorted by vertex ID, so
+index ranges over it are contiguous ID ranges — the partitioning the
+engine ships to workers.  Chunking is purely a scheduling concern: the
+per-candidate scans are pure functions, so any partition of ``C`` merges
+to the same result and the same counter totals.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+
+__all__ = ["chunk_ranges", "default_chunk_size"]
+
+#: Chunks-per-worker target: a few chunks per worker smooths out the
+#: skew of hub-heavy candidates without drowning the pool in tiny tasks.
+CHUNKS_PER_WORKER = 4
+
+
+def chunk_ranges(num_items: int, chunk_size: int) -> list[tuple[int, int]]:
+    """Half-open ``(lo, hi)`` index ranges covering ``0 .. num_items``.
+
+    >>> chunk_ranges(7, 3)
+    [(0, 3), (3, 6), (6, 7)]
+    >>> chunk_ranges(0, 3)
+    []
+    """
+    if chunk_size < 1:
+        raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+    if num_items < 0:
+        raise ParameterError(f"num_items must be >= 0, got {num_items}")
+    return [
+        (lo, min(lo + chunk_size, num_items))
+        for lo in range(0, num_items, chunk_size)
+    ]
+
+
+def default_chunk_size(num_items: int, workers: int) -> int:
+    """Chunk size giving ~``CHUNKS_PER_WORKER`` chunks per worker.
+
+    >>> default_chunk_size(1000, 4)
+    63
+    >>> default_chunk_size(0, 4)
+    1
+    """
+    if workers < 1:
+        raise ParameterError(f"workers must be >= 1, got {workers}")
+    if num_items <= 0:
+        return 1
+    return max(1, -(-num_items // (CHUNKS_PER_WORKER * workers)))

@@ -1,0 +1,206 @@
+"""``parallel_refine_sky`` — FilterRefineSky with a multi-worker refine.
+
+The filter phase stays sequential (it is near-linear and inherently
+order-coupled through its twin tie-breaks); the refine phase — the
+dominant cost on candidate-heavy graphs, and independent per candidate —
+is chunked over a :mod:`multiprocessing` pool.  Workers receive one CSR
+snapshot of the graph (:meth:`~repro.graph.adjacency.Graph.to_csr`) via
+the pool initializer, rebuild their :class:`~repro.bloom.vertex_filters.
+VertexBloomIndex` once, and then scan candidate chunks; see
+:mod:`repro.parallel.worker` for the two-pass decomposition and the
+argument that its output is bit-for-bit the sequential one.
+
+Guarantees:
+
+* ``skyline``, ``dominator`` and ``candidates`` are **identical** to
+  :func:`~repro.core.filter_refine.filter_refine_sky` on every input,
+  for every worker count and chunk size.
+* Merged counters are deterministic — per-candidate tallies summed over
+  any partition — though they differ from the sequential schedule's
+  (the status pass stops at the first dominator; the witness pass
+  rescans dominated candidates).  Scheduling facts (mode, workers,
+  chunk count, rescans) land in ``counters.extra["parallel_*"]`` keys,
+  outside :meth:`~repro.core.counters.SkylineCounters.as_dict`.
+* Small graphs (``num_edges < small_graph_edges``) and ``workers <= 1``
+  run the same two passes in-process — no pool, no snapshot, no
+  latency regression — with, by construction, the same result and the
+  same counter totals.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from array import array
+from typing import Optional
+
+from repro.bloom.vertex_filters import width_for_max_degree
+from repro.core.counters import SkylineCounters
+from repro.core.filter_phase import filter_phase
+from repro.core.result import SkylineResult
+from repro.errors import ParameterError
+from repro.graph.adjacency import Graph
+from repro.parallel.chunks import chunk_ranges, default_chunk_size
+from repro.parallel.worker import (
+    build_payload,
+    build_state,
+    init_worker,
+    run_status_chunk,
+    run_witness_chunk,
+)
+
+__all__ = ["parallel_refine_sky", "default_worker_count", "SMALL_GRAPH_EDGES"]
+
+#: Below this many edges the pool overhead dwarfs the refine itself, so
+#: the engine stays in-process regardless of ``workers``.
+SMALL_GRAPH_EDGES = 2048
+
+
+def default_worker_count() -> int:
+    """Usable CPUs of this process (affinity-aware where supported)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # platforms without affinity masks
+        return os.cpu_count() or 1
+
+
+def _pool_context():
+    # fork shares the parent's code pages and skips re-imports; spawn is
+    # the portable fallback (worker entry points are module-level).
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def parallel_refine_sky(
+    graph: Graph,
+    *,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    small_graph_edges: int = SMALL_GRAPH_EDGES,
+    bloom_bits: Optional[int] = None,
+    bits_per_element: int = 8,
+    seed: int = 0,
+    counters: Optional[SkylineCounters] = None,
+    exact: bool = True,
+) -> SkylineResult:
+    """Compute the neighborhood skyline with a parallel refine phase.
+
+    Parameters
+    ----------
+    graph:
+        The input graph.
+    workers:
+        Worker processes for the refine phase; ``None`` uses every
+        usable CPU.  ``1`` runs in-process.
+    chunk_size:
+        Candidates per task; ``None`` targets a few chunks per worker.
+        Purely a scheduling knob — any value yields the same result.
+    small_graph_edges:
+        In-process threshold: graphs with fewer edges never pay for a
+        pool.  Pass ``0`` to force pooling (tests do).
+    bloom_bits / bits_per_element / seed:
+        Bloom sizing, as in :func:`~repro.core.filter_refine.filter_refine_sky`.
+    counters:
+        Optional instrumentation sink; worker tallies are merged in.
+    exact:
+        Must be ``True``.  The approximate variant is sequential-only:
+        its one-sided bloom errors are not transitive, so the
+        dominated-dominator skips it rides on are schedule-dependent
+        and a parallel run could return a different subset.
+
+    The result's ``skyline``/``dominator``/``candidates`` are identical
+    to the sequential ``filter_refine_sky`` for any worker count.
+    """
+    if not exact:
+        raise ParameterError(
+            "the parallel engine computes the exact skyline only; use "
+            "algorithm='filter_refine' with exact=False for the "
+            "approximate variant"
+        )
+    if workers is None:
+        workers = default_worker_count()
+    if workers < 1:
+        raise ParameterError(
+            f"workers must be a positive integer, got {workers}"
+        )
+    if chunk_size is not None and chunk_size < 1:
+        raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+    if bloom_bits is None:
+        dmax = max((graph.degree(u) for u in graph.vertices()), default=0)
+        bits = width_for_max_degree(dmax, bits_per_element)
+    elif bloom_bits <= 0 or bloom_bits % 32 != 0:
+        raise ParameterError(
+            f"bloom width must be a positive multiple of 32, got {bloom_bits}"
+        )
+    else:
+        bits = bloom_bits
+
+    n = graph.num_vertices
+    candidates, dominator = filter_phase(graph, counters=counters)
+
+    size = chunk_size or default_chunk_size(len(candidates), workers)
+    status_tasks = chunk_ranges(len(candidates), size)
+    use_pool = workers > 1 and graph.num_edges >= small_graph_edges
+
+    chunk_dicts: list[dict] = []
+    if use_pool:
+        payload = build_payload(
+            graph, candidates, dominator, bits=bits, seed=seed
+        )
+        pool = _pool_context().Pool(
+            processes=workers, initializer=init_worker, initargs=(payload,)
+        )
+        try:
+            dominated: list[int] = []
+            for part, stats in pool.map(run_status_chunk, status_tasks):
+                dominated.extend(part)
+                chunk_dicts.append(stats)
+            blob = array("q", dominated)
+            witness_tasks = [
+                (lo, hi, blob)
+                for lo, hi in chunk_ranges(len(dominated), size)
+            ]
+            witness_pairs: list[tuple[int, int]] = []
+            for part, stats in pool.map(run_witness_chunk, witness_tasks):
+                witness_pairs.extend(part)
+                chunk_dicts.append(stats)
+        finally:
+            pool.close()
+            pool.join()
+    else:
+        state = build_state(
+            graph, candidates, dominator, bits=bits, seed=seed
+        )
+        dominated = []
+        for task in status_tasks:
+            part, stats = run_status_chunk(task, state)
+            dominated.extend(part)
+            chunk_dicts.append(stats)
+        witness_pairs = []
+        for task in chunk_ranges(len(dominated), size):
+            part, stats = run_witness_chunk((*task, dominated), state)
+            witness_pairs.extend(part)
+            chunk_dicts.append(stats)
+
+    final = list(dominator)
+    for u, w in witness_pairs:
+        final[u] = w
+
+    if counters is not None:
+        for delta in chunk_dicts:
+            counters.merge_dict(delta)
+        counters.extra["parallel_mode"] = "pool" if use_pool else "in-process"
+        counters.extra["parallel_workers"] = workers
+        counters.extra["parallel_chunks"] = len(status_tasks)
+        counters.extra["parallel_rescans"] = len(dominated)
+
+    skyline = tuple(u for u in range(n) if final[u] == u)
+    return SkylineResult(
+        skyline=skyline,
+        dominator=tuple(final),
+        candidates=tuple(candidates),
+        algorithm="FilterRefineSkyParallel",
+        counters=counters,
+    )

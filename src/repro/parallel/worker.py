@@ -1,0 +1,284 @@
+"""Per-candidate refine scans for the parallel engine.
+
+The sequential refine loop of Algorithm 3 looks order-dependent — it
+skips potential dominators ``w`` with ``O(w) ≠ w``, and refine updates
+``O(*)`` as it goes — but the dependence is shallow, and this module
+exploits it to split the phase into two embarrassingly parallel passes
+that reproduce the sequential output *bit for bit*:
+
+1. **Status pass** (:func:`scan_status`): is candidate ``u`` dominated
+   from its 2-hop neighborhood?  The scan skips only *filter-phase*
+   dominations, which are frozen before refine starts.  Skipping a
+   refine-dominated ``w`` is a work-avoidance heuristic, never a
+   correctness requirement — a pair that passes the checks certifies a
+   genuine domination whatever ``w``'s own status — and conversely the
+   pass tests a superset of the pairs the sequential scan tests, so the
+   dominated *set* it computes equals the sequential one exactly.
+2. **Witness pass** (:func:`scan_witness`): for each dominated
+   candidate, recover the dominator entry the sequential scan would
+   have written.  When the sequential loop reaches ``u``, the refine
+   state it sees is the *final* status of every candidate below ``u``
+   (entries are written at most once, and candidates are processed in
+   ascending ID order), so the sequential witness is a pure function of
+   the status-pass output: rescan with the skip predicate
+   "``w`` filter-dominated, or ``w < u`` and refine-dominated" and
+   return the first dominator that passes Def. 2's tie-break.
+
+Both passes are pure functions of a :class:`RefineState`, which workers
+rebuild once per process from a pickle-cheap CSR payload
+(:meth:`~repro.graph.adjacency.Graph.to_csr`) and then reuse for every
+chunk they are handed — including the per-worker
+:class:`~repro.bloom.vertex_filters.VertexBloomIndex`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Optional, Sequence
+
+from repro.bloom.vertex_filters import VertexBloomIndex
+from repro.core.counters import SkylineCounters
+from repro.graph.adjacency import Graph
+
+__all__ = [
+    "RefineState",
+    "build_payload",
+    "build_state",
+    "init_worker",
+    "run_status_chunk",
+    "run_witness_chunk",
+    "scan_status",
+    "scan_witness",
+]
+
+
+class RefineState:
+    """Everything a refine scan needs, built once per worker process."""
+
+    __slots__ = ("graph", "candidates", "dominator", "blooms", "refine_dominated")
+
+    def __init__(
+        self,
+        graph: Graph,
+        candidates: Sequence[int],
+        dominator: Sequence[int],
+        blooms: VertexBloomIndex,
+    ):
+        self.graph = graph
+        self.candidates = candidates
+        #: Filter-phase dominator array, frozen for the whole refine.
+        self.dominator = dominator
+        self.blooms = blooms
+        #: Per-vertex flags for the witness pass; set lazily from the
+        #: status-pass output (``None`` until then).
+        self.refine_dominated: Optional[bytearray] = None
+
+
+def build_state(
+    graph: Graph,
+    candidates: Sequence[int],
+    dominator: Sequence[int],
+    *,
+    bits: int,
+    seed: int,
+) -> RefineState:
+    """A :class:`RefineState` over a live graph (in-process execution)."""
+    blooms = VertexBloomIndex(graph, candidates, bits=bits, seed=seed)
+    return RefineState(graph, candidates, dominator, blooms)
+
+
+def build_payload(
+    graph: Graph,
+    candidates: Sequence[int],
+    dominator: Sequence[int],
+    *,
+    bits: int,
+    seed: int,
+) -> tuple:
+    """The pickle-cheap snapshot shipped to every worker's initializer."""
+    indptr, indices = graph.to_csr()
+    return (
+        indptr,
+        indices,
+        array("q", candidates),
+        array("q", dominator),
+        bits,
+        seed,
+    )
+
+
+#: Worker-process state, populated by :func:`init_worker`.
+_STATE: Optional[RefineState] = None
+
+
+def init_worker(payload: tuple) -> None:
+    """Pool initializer: rebuild graph, candidates and blooms once."""
+    global _STATE
+    indptr, indices, candidates, dominator, bits, seed = payload
+    graph = Graph.from_csr(indptr, indices)
+    _STATE = build_state(graph, candidates, dominator, bits=bits, seed=seed)
+
+
+def scan_status(state: RefineState, u: int, stats: SkylineCounters) -> bool:
+    """``True`` iff candidate ``u`` has a 2-hop dominator (status pass).
+
+    The check ladder per pair mirrors Algorithm 3 exactly — degree skip,
+    dominated-dominator skip (filter-phase state only), whole-filter
+    bloom subset test, per-neighbor ``BFcheck`` + exact ``NBRcheck`` —
+    and stops at the first pair certifying a domination of ``u``
+    (strict, or mutual losing the ID tie-break).
+    """
+    graph = state.graph
+    dominator = state.dominator
+    filter_word = state.blooms.filter_word
+    bit_of = state.blooms.bit_masks
+    neighbors = graph.neighbors
+    degree = graph.degree
+    has_edge = graph.has_edge
+
+    stats.vertices_examined += 1
+    deg_u = degree(u)
+    bf_u = filter_word(u)
+    nbrs_u = neighbors(u)
+    for v in nbrs_u:
+        for w in neighbors(v):
+            if w == u:
+                continue
+            if degree(w) < deg_u:
+                stats.degree_skips += 1
+                continue
+            if dominator[w] != w:
+                stats.dominated_skips += 1
+                continue
+            stats.pair_tests += 1
+            bf_w = filter_word(w)
+            if bf_u & bf_w != bf_u:
+                stats.bloom_subset_rejects += 1
+                continue
+            dominated_by_w = True
+            for x in nbrs_u:
+                if x == v:
+                    continue
+                stats.bloom_member_checks += 1
+                if not (bf_w & bit_of[x]):
+                    stats.bloom_member_rejects += 1
+                    dominated_by_w = False
+                    break
+                stats.nbr_checks += 1
+                if not has_edge(w, x):
+                    stats.bloom_false_positives += 1
+                    dominated_by_w = False
+                    break
+            if not dominated_by_w:
+                continue
+            # N(u) ⊆ N[w] certified.  Strict domination, or mutual
+            # inclusion lost on the Def. 2 ID tie-break, settles u.
+            if degree(w) > deg_u or u > w:
+                stats.dominations_found += 1
+                return True
+            # Mutual inclusion won by u (u < w): u stays, keep scanning.
+    return False
+
+
+def scan_witness(state: RefineState, u: int, stats: SkylineCounters) -> int:
+    """The dominator entry the sequential scan records for ``u``.
+
+    Precondition: the status pass found ``u`` dominated, and
+    ``state.refine_dominated`` holds its output.  Replays ``u``'s scan
+    under the sequential skip predicate — ``w`` is skipped when it is
+    filter-dominated, or refine-dominated with ``w < u`` — and returns
+    the first ``w`` whose certified inclusion also settles ``u``
+    (sequential writes ``O(u)`` at most once, so first hit = final
+    entry).
+    """
+    graph = state.graph
+    dominator = state.dominator
+    refine_dominated = state.refine_dominated
+    filter_word = state.blooms.filter_word
+    bit_of = state.blooms.bit_masks
+    neighbors = graph.neighbors
+    degree = graph.degree
+    has_edge = graph.has_edge
+
+    deg_u = degree(u)
+    bf_u = filter_word(u)
+    nbrs_u = neighbors(u)
+    for v in nbrs_u:
+        for w in neighbors(v):
+            if w == u:
+                continue
+            if degree(w) < deg_u:
+                stats.degree_skips += 1
+                continue
+            if dominator[w] != w or (w < u and refine_dominated[w]):
+                stats.dominated_skips += 1
+                continue
+            stats.pair_tests += 1
+            bf_w = filter_word(w)
+            if bf_u & bf_w != bf_u:
+                stats.bloom_subset_rejects += 1
+                continue
+            dominated_by_w = True
+            for x in nbrs_u:
+                if x == v:
+                    continue
+                stats.bloom_member_checks += 1
+                if not (bf_w & bit_of[x]):
+                    stats.bloom_member_rejects += 1
+                    dominated_by_w = False
+                    break
+                stats.nbr_checks += 1
+                if not has_edge(w, x):
+                    stats.bloom_false_positives += 1
+                    dominated_by_w = False
+                    break
+            if not dominated_by_w:
+                continue
+            if degree(w) > deg_u or u > w:
+                return w
+    raise RuntimeError(
+        f"refine witness for vertex {u} vanished between passes; "
+        "this indicates a bug in the status pass"
+    )
+
+
+def _ensure_flags(state: RefineState, dominated: Sequence[int]) -> None:
+    if state.refine_dominated is None:
+        flags = bytearray(state.graph.num_vertices)
+        for u in dominated:
+            flags[u] = 1
+        state.refine_dominated = flags
+
+
+def run_status_chunk(task: tuple, state: Optional[RefineState] = None):
+    """Status pass over one candidate chunk ``(lo, hi)``.
+
+    Returns ``(dominated_ids, counter_dict)``.  ``state`` defaults to
+    the worker-process state installed by :func:`init_worker`; the
+    engine passes its own when running in-process.
+    """
+    lo, hi = task
+    if state is None:
+        state = _STATE
+    stats = SkylineCounters()
+    dominated = [
+        u for u in state.candidates[lo:hi] if scan_status(state, u, stats)
+    ]
+    return dominated, stats.as_dict()
+
+
+def run_witness_chunk(task: tuple, state: Optional[RefineState] = None):
+    """Witness pass over one chunk of the dominated-candidate list.
+
+    ``task`` is ``(lo, hi, dominated)`` where ``dominated`` is the full
+    ascending list from the status pass — shipped whole so each worker
+    can build the skip flags once and index its slice.  Returns
+    ``([(u, witness), ...], counter_dict)``.
+    """
+    lo, hi, dominated = task
+    if state is None:
+        state = _STATE
+    _ensure_flags(state, dominated)
+    stats = SkylineCounters()
+    pairs = [(u, scan_witness(state, u, stats)) for u in dominated[lo:hi]]
+    return pairs, stats.as_dict()

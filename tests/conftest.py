@@ -2,10 +2,21 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import settings as hypothesis_settings
 from hypothesis import strategies as st
+
+# CI runners are slower and noisier than dev machines, and the pooled
+# parallel-engine tests fork real worker processes; the "ci" profile
+# relaxes the per-example deadline accordingly (tests that manage their
+# own @settings, deadline included, are unaffected).  Selected via
+# HYPOTHESIS_PROFILE=ci in .github/workflows/ci.yml.
+hypothesis_settings.register_profile("ci", deadline=2000)
+if "HYPOTHESIS_PROFILE" in os.environ:
+    hypothesis_settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
 
 from repro.graph.adjacency import Graph
 from repro.graph.generators import (

@@ -140,3 +140,45 @@ class TestDunder:
     def test_repr_mentions_sizes(self, k5):
         assert "n=5" in repr(k5)
         assert "m=10" in repr(k5)
+
+
+class TestCSR:
+    def test_roundtrip_identity(self, karate):
+        indptr, indices = karate.to_csr()
+        rebuilt = Graph.from_csr(indptr, indices)
+        assert rebuilt == karate
+        assert rebuilt.num_edges == karate.num_edges
+
+    def test_arrays_are_int64_buffers(self, k5):
+        indptr, indices = k5.to_csr()
+        assert indptr.typecode == "q"
+        assert indices.typecode == "q"
+        assert len(indptr) == k5.num_vertices + 1
+        assert len(indices) == 2 * k5.num_edges
+
+    def test_rows_are_sorted_slices(self, c6):
+        indptr, indices = c6.to_csr()
+        for u in c6.vertices():
+            row = list(indices[indptr[u] : indptr[u + 1]])
+            assert row == list(c6.neighbors(u))
+
+    def test_empty_graph(self):
+        g = Graph.from_edges(0, [])
+        indptr, indices = g.to_csr()
+        assert list(indptr) == [0]
+        assert len(indices) == 0
+        assert Graph.from_csr(indptr, indices) == g
+
+    def test_isolated_vertices_survive(self):
+        g = Graph.from_edges(4, [(1, 2)])
+        rebuilt = Graph.from_csr(*g.to_csr())
+        assert rebuilt == g
+        assert rebuilt.num_vertices == 4
+        assert rebuilt.degree(0) == 0
+
+    def test_pickle_roundtrip_via_csr(self, karate):
+        import pickle
+
+        payload = pickle.dumps(karate.to_csr())
+        rebuilt = Graph.from_csr(*pickle.loads(payload))
+        assert rebuilt == karate

@@ -73,6 +73,39 @@ def test_negative_after_base_raises():
         read_edge_list(io.StringIO("0 1\n"), base=1)
 
 
+def test_malformed_row_reports_filename_and_line(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("0 1\nbroken\n")
+    with pytest.raises(GraphFormatError, match=r"bad\.txt: line 2"):
+        read_edge_list(str(path))
+
+
+def test_non_integer_row_reports_filename_and_line(tmp_path):
+    path = tmp_path / "words.txt"
+    path.write_text("a b\n")
+    with pytest.raises(GraphFormatError, match=r"words\.txt: line 1"):
+        read_edge_list(str(path))
+
+
+def test_missing_file_is_format_error(tmp_path):
+    path = tmp_path / "absent.txt"
+    with pytest.raises(GraphFormatError, match=r"absent\.txt"):
+        read_edge_list(str(path))
+
+
+def test_stream_errors_use_placeholder_label():
+    with pytest.raises(GraphFormatError, match=r"<edge list>: line 1"):
+        read_edge_list(io.StringIO("justone\n"))
+
+
+def test_open_file_errors_use_its_name(tmp_path):
+    path = tmp_path / "named.txt"
+    path.write_text("0 1\n0 1\n")
+    with open(path, "r", encoding="utf-8") as fh:
+        with pytest.raises(GraphFormatError, match=r"named\.txt: duplicate"):
+            read_edge_list(fh, allow_duplicates=False)
+
+
 def test_extra_columns_tolerated():
     # Many dumps carry weights/timestamps in later columns.
     g = read_edge_list(io.StringIO("0 1 42 1999\n"))

@@ -1,0 +1,164 @@
+"""Differential safety net for the parallel refine engine.
+
+``filter_refine_parallel`` must return the *same* skyline, dominator
+witnesses and candidate set as sequential ``filter_refine`` (which the
+rest of the suite pins to ``naive``), for every worker count and chunk
+size — see ``repro/parallel/worker.py`` for why that holds.  These
+tests enforce the claim on hypothesis-generated graphs, on twin-heavy
+graphs where the Def. 2 ID tie-break is the whole story, and on the
+merged counters.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.counters import SkylineCounters
+from repro.core.filter_refine import filter_refine_sky
+from repro.core.naive import naive_skyline
+from repro.graph.adjacency import Graph
+from repro.graph.twins import twin_representatives
+from repro.parallel import parallel_refine_sky
+from tests.conftest import graphs, power_law_graphs
+
+COMMON = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Pool-backed examples fork real worker processes, so keep the count
+#: low; the in-process path (identical scan code) gets the wide sweep.
+POOLED = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def assert_same_result(par, seq):
+    assert par.skyline == seq.skyline
+    assert par.dominator == seq.dominator
+    assert par.candidates == seq.candidates
+
+
+@st.composite
+def twin_heavy_graphs(draw):
+    """A small graph with extra false/true twins grafted on.
+
+    Twin classes are exactly the mutual-inclusion ties of Def. 2, so
+    these graphs maximize the ID tie-break traffic a wrong parallel
+    decomposition would scramble.
+    """
+    g = draw(graphs(max_vertices=10))
+    n = g.num_vertices
+    if n == 0:
+        return g
+    adj = [set(g.neighbors(u)) for u in range(n)]
+    extra = draw(st.integers(min_value=1, max_value=6))
+    for _ in range(extra):
+        src = draw(st.integers(min_value=0, max_value=len(adj) - 1))
+        true_twin = draw(st.booleans())
+        new = len(adj)
+        adj.append(set(adj[src]))
+        for w in adj[src]:
+            adj[w].add(new)
+        if true_twin:
+            # An edge between equal open neighborhoods makes the closed
+            # neighborhoods equal too.
+            adj[src].add(new)
+            adj[new].add(src)
+    edges = [
+        (u, v) for u, nbrs in enumerate(adj) for v in nbrs if u < v
+    ]
+    return Graph.from_edges(len(adj), edges)
+
+
+@COMMON
+@given(graphs(), st.sampled_from([1, 2, 5, None]))
+def test_in_process_engine_matches_sequential_and_naive(g, chunk_size):
+    par = parallel_refine_sky(g, workers=1, chunk_size=chunk_size)
+    assert_same_result(par, filter_refine_sky(g))
+    assert par.skyline == naive_skyline(g).skyline
+
+
+@COMMON
+@given(power_law_graphs())
+def test_in_process_engine_matches_sequential_power_law(g):
+    assert_same_result(
+        parallel_refine_sky(g, workers=1), filter_refine_sky(g)
+    )
+
+
+@POOLED
+@given(
+    graphs(max_vertices=18),
+    st.sampled_from([2, 4]),
+    st.sampled_from([1, 3, None]),
+)
+def test_pooled_engine_matches_sequential(g, workers, chunk_size):
+    par = parallel_refine_sky(
+        g,
+        workers=workers,
+        chunk_size=chunk_size,
+        small_graph_edges=0,  # force the pool even on tiny graphs
+    )
+    assert_same_result(par, filter_refine_sky(g))
+    assert par.skyline == naive_skyline(g).skyline
+
+
+@COMMON
+@given(twin_heavy_graphs(), st.sampled_from([1, 2, 4]))
+def test_twin_heavy_tie_breaks(g, workers):
+    # workers > 1 on these tiny graphs exercises the pool decision path
+    # but stays in-process (below the size threshold) — the pooled scan
+    # itself is covered above; here the point is the tie-break data.
+    par = parallel_refine_sky(g, workers=workers)
+    seq = filter_refine_sky(g)
+    assert_same_result(par, seq)
+    assert par.skyline == naive_skyline(g).skyline
+    # Def. 2: within a twin class the smallest ID dominates the rest,
+    # so every skyline member is its class's minimum — in both flavors.
+    # (Isolated vertices are exempt: they all share the empty open
+    # neighborhood yet are all skyline members by convention.)
+    open_rep = twin_representatives(g)
+    closed_rep = twin_representatives(g, closed=True)
+    for u in par.skyline:
+        if g.degree(u) > 0:
+            assert open_rep[u] == u
+        assert closed_rep[u] == u
+
+
+@COMMON
+@given(graphs(), st.sampled_from([(1, None), (1, 1), (1, 4)]))
+def test_counters_deterministic_across_chunkings(g, config):
+    workers, chunk_size = config
+    baseline = SkylineCounters()
+    parallel_refine_sky(g, workers=1, chunk_size=2, counters=baseline)
+    other = SkylineCounters()
+    parallel_refine_sky(
+        g, workers=workers, chunk_size=chunk_size, counters=other
+    )
+    assert other.as_dict() == baseline.as_dict()
+    assert (
+        other.extra["parallel_rescans"]
+        == baseline.extra["parallel_rescans"]
+    )
+
+
+@COMMON
+@given(graphs())
+def test_merged_counters_consistency(g):
+    counters = SkylineCounters()
+    result = parallel_refine_sky(g, workers=1, counters=counters)
+    d = counters.as_dict()
+    # Every non-skyline vertex leaves via exactly one recorded domination
+    # (filter phase or status pass; the witness pass records none).
+    assert d["dominations_found"] == g.num_vertices - result.size
+    assert d["bloom_false_positives"] <= d["nbr_checks"]
+    assert d["bloom_member_rejects"] <= d["bloom_member_checks"]
+    assert d["nbr_checks"] <= d["bloom_member_checks"]
+    assert d["dominations_found"] <= d["pair_tests"] + d["vertices_examined"]
+    # The witness pass rescans exactly the refine-dominated candidates.
+    assert counters.extra["parallel_rescans"] == len(result.candidates) - sum(
+        1 for u in result.candidates if u in result.skyline_set
+    )

@@ -104,3 +104,100 @@ def test_stats_command(capsys):
     out = capsys.readouterr().out
     assert "triangles           45" in out
     assert "max degree          17" in out
+
+
+# ---------------------------------------------------------------------
+# --workers flag and error paths
+# ---------------------------------------------------------------------
+def test_skyline_workers_flag_uses_parallel_engine(capsys):
+    assert main(["skyline", "--dataset", "karate", "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "FilterRefineSkyParallel" in out
+    assert "|R| = 15" in out
+
+
+def test_skyline_parallel_algorithm_name(capsys):
+    code = main(
+        [
+            "skyline",
+            "--dataset",
+            "karate",
+            "--algorithm",
+            "filter_refine_parallel",
+        ]
+    )
+    assert code == 0
+    assert "FilterRefineSkyParallel" in capsys.readouterr().out
+
+
+def test_skyline_workers_zero_is_clean_error(capsys):
+    code = main(["skyline", "--dataset", "karate", "--workers", "0"])
+    assert code == 2
+    assert "--workers must be a positive integer" in capsys.readouterr().err
+
+
+def test_skyline_workers_with_incompatible_algorithm(capsys):
+    code = main(
+        [
+            "skyline",
+            "--dataset",
+            "karate",
+            "--algorithm",
+            "base",
+            "--workers",
+            "2",
+        ]
+    )
+    assert code == 2
+    assert "filter_refine family" in capsys.readouterr().err
+
+
+def test_unknown_algorithm_is_parameter_error(capsys):
+    code = main(["skyline", "--dataset", "karate", "--algorithm", "bogus"])
+    assert code == 2
+    assert "unknown skyline algorithm" in capsys.readouterr().err
+
+
+def test_malformed_edge_list_names_file_and_line(tmp_path, capsys):
+    path = tmp_path / "bad.txt"
+    path.write_text("0 1\nnot-an-edge\n")
+    assert main(["skyline", "--edge-list", str(path)]) == 2
+    err = capsys.readouterr().err
+    assert "bad.txt" in err
+    assert "line 2" in err
+
+
+def test_group_workers_flag(capsys):
+    code = main(["group", "--dataset", "karate", "--k", "2", "--workers", "2"])
+    assert code == 0
+    assert "NeiSky group-closeness" in capsys.readouterr().out
+
+
+def test_group_workers_conflicts_with_no_skyline(capsys):
+    code = main(
+        [
+            "group",
+            "--dataset",
+            "karate",
+            "--k",
+            "2",
+            "--workers",
+            "2",
+            "--no-skyline",
+        ]
+    )
+    assert code == 2
+    assert "--no-skyline" in capsys.readouterr().err
+
+
+def test_clique_workers_flag(capsys):
+    assert main(["clique", "--dataset", "karate", "--workers", "2"]) == 0
+    assert "size 5" in capsys.readouterr().out
+
+
+def test_clique_topk_workers_flag(capsys):
+    code = main(
+        ["clique", "--dataset", "karate", "--top-k", "2", "--workers", "2"]
+    )
+    assert code == 0
+    assert "#2" in capsys.readouterr().out
