@@ -1,15 +1,28 @@
-"""Refine-phase speedup of the parallel engine over the sequential baseline.
+"""Refine-phase speedup: parallel engine and bitset kernel vs the baseline.
 
-For every registry dataset of Table I: time sequential FilterRefineSky,
-time the parallel engine at 2 and 4 workers (pool forced on, so the
-numbers include snapshot pickling, pool spin-up and result merging),
-subtract the shared filter-phase cost, and report the refine-phase
-speedup.  The safety net rides along: each parallel result is asserted
-bit-for-bit equal to the sequential one before its time is recorded.
+For every registry dataset of Table I:
 
-Honest-measurement note: the speedup ceiling is the host's usable CPU
-count (recorded in the report footer).  On a single-core container the
-parallel rows measure pure engine overhead and land below 1.0×.
+* time sequential FilterRefineSky (bloom refine) and the parallel
+  engine at 2 and 4 workers (pool forced on, so the numbers include
+  snapshot pickling, pool spin-up and result merging);
+* time sequential FilterRefineSkyBitset and the parallel engine with
+  ``refine="bitset"`` at the same worker counts;
+* subtract the shared filter-phase cost and report refine-phase
+  speedups — workers vs sequential, and bitset vs bloom.
+
+The safety net rides along: each result is asserted bit-for-bit equal
+to the sequential bloom output before its time is recorded.  Every
+measurement also lands in ``BENCH_skyline.json``; the sequential bitset
+entry carries ``extra["refine_speedup_vs_bloom"]``, the number the
+README table quotes.
+
+Honest-measurement note: the parallel speedup ceiling is the host's
+usable CPU count (recorded in the report footer).  On a single-core
+container the parallel rows measure pure engine overhead and land below
+1.0×.  The bitset-vs-bloom ratio is hardware-independent but *input*
+dependent: it grows with the non-candidate fraction the kernel never
+iterates, and can drop below 1.0× on candidate-dense instances where
+packing and group setup outweigh the cheaper pair tests.
 """
 
 import os
@@ -18,8 +31,10 @@ import time
 import pytest
 
 from _datasets import dataset
+from repro.core.bitset_refine import filter_refine_bitset_sky
 from repro.core.filter_phase import filter_phase
 from repro.core.filter_refine import filter_refine_sky
+from repro.harness.benchjson import bench_entry
 from repro.parallel import default_worker_count, parallel_refine_sky
 from repro.workloads import TABLE1_NAMES
 
@@ -36,11 +51,20 @@ def _best_of(runs, fn):
 
 
 @pytest.mark.parametrize("name", TABLE1_NAMES)
-def test_parallel_speedup(figure_report, name):
+def test_parallel_speedup(figure_report, bench_json, name):
     graph = dataset(name)
     t_filter, _ = _best_of(2, lambda: filter_phase(graph))
     t_seq, seq = _best_of(2, lambda: filter_refine_sky(graph))
     refine_seq = max(t_seq - t_filter, 1e-9)
+    bench_json(
+        bench_entry(
+            bench="parallel_speedup",
+            instance=name,
+            algorithm="FilterRefineSky",
+            wall_s=t_seq,
+            refine_s=refine_seq,
+        )
+    )
 
     row = [name, graph.num_vertices, graph.num_edges, refine_seq]
     for workers in WORKER_COUNTS:
@@ -54,6 +78,20 @@ def test_parallel_speedup(figure_report, name):
         assert par.dominator == seq.dominator
         refine_par = max(t_par - t_filter, 1e-9)
         row.extend([refine_par, refine_seq / refine_par])
+        bench_json(
+            bench_entry(
+                bench="parallel_speedup",
+                instance=name,
+                algorithm=f"FilterRefineSkyParallel(bloom,{workers}w)",
+                wall_s=t_par,
+                refine_s=refine_par,
+                extra={
+                    "workers": workers,
+                    "refine": "bloom",
+                    "refine_speedup_vs_seq": refine_seq / refine_par,
+                },
+            )
+        )
 
     report = figure_report(
         "Parallel speedup",
@@ -78,4 +116,74 @@ def test_parallel_speedup(figure_report, name):
         "bloom-index rebuilds. Every parallel result was asserted "
         "bit-for-bit equal to the sequential output before timing was "
         "recorded."
+    )
+
+    # ------------------------------------------------------------------
+    # Bitset kernel: sequential and parallel, same safety net.
+    # ------------------------------------------------------------------
+    t_bit, bit = _best_of(3, lambda: filter_refine_bitset_sky(graph))
+    assert bit.skyline == seq.skyline
+    assert bit.dominator == seq.dominator
+    refine_bit = max(t_bit - t_filter, 1e-9)
+    ratio = refine_seq / refine_bit
+    bench_json(
+        bench_entry(
+            bench="parallel_speedup",
+            instance=name,
+            algorithm="FilterRefineSkyBitset",
+            wall_s=t_bit,
+            refine_s=refine_bit,
+            extra={"refine_speedup_vs_bloom": ratio},
+        )
+    )
+
+    bit_row = [name, refine_seq, refine_bit, ratio]
+    for workers in WORKER_COUNTS:
+        t_par, par = _best_of(
+            2,
+            lambda w=workers: parallel_refine_sky(
+                graph, workers=w, small_graph_edges=0, refine="bitset"
+            ),
+        )
+        assert par.skyline == seq.skyline
+        assert par.dominator == seq.dominator
+        refine_par = max(t_par - t_filter, 1e-9)
+        bit_row.extend([refine_par, refine_bit / refine_par])
+        bench_json(
+            bench_entry(
+                bench="parallel_speedup",
+                instance=name,
+                algorithm=f"FilterRefineSkyParallel(bitset,{workers}w)",
+                wall_s=t_par,
+                refine_s=refine_par,
+                extra={
+                    "workers": workers,
+                    "refine": "bitset",
+                    "refine_speedup_vs_seq": refine_bit / refine_par,
+                },
+            )
+        )
+
+    bit_report = figure_report(
+        "Bitset refine speedup",
+        "Refine-phase time (s): packed-bitset kernel vs bloom baseline",
+        (
+            "dataset",
+            "refine bloom",
+            "refine bitset",
+            "bitset/bloom x",
+            "bitset 2w",
+            "speedup 2w",
+            "bitset 4w",
+            "speedup 4w",
+        ),
+    )
+    bit_report.add_row(*bit_row)
+    bit_report.add_note(
+        "bitset/bloom x is the sequential refine-phase ratio (>1 means "
+        "the packed kernel wins); it rises with the non-candidate "
+        "fraction of the 2-hop lists and can fall below 1.0 on "
+        "candidate-dense instances (e.g. dblp_sim at ~48% candidates) "
+        "where packing + group setup outweigh the cheaper pair tests. "
+        "Worker speedups are relative to the sequential bitset run."
     )

@@ -19,10 +19,19 @@ import pytest
 # pytest adds this directory to sys.path (rootdir-relative runs).
 sys.path.insert(0, os.path.dirname(__file__))
 
+from repro.harness.benchjson import (  # noqa: E402
+    BENCH_FILENAME,
+    write_bench_json,
+)
 from repro.harness.runner import FigureReport  # noqa: E402
 
 _REPORTS: dict[str, FigureReport] = {}
+_BENCH_ENTRIES: list[dict] = []
 REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+BENCH_JSON_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    BENCH_FILENAME,
+)
 
 
 @pytest.fixture(scope="session")
@@ -39,7 +48,29 @@ def figure_report():
     return get
 
 
+@pytest.fixture(scope="session")
+def bench_json():
+    """Collector for machine-readable measurements.
+
+    Benchmark modules append :func:`repro.harness.benchjson.bench_entry`
+    records; the session summary merge-writes them into
+    ``BENCH_skyline.json`` at the repository root.
+    """
+
+    def add(entry: dict) -> None:
+        _BENCH_ENTRIES.append(entry)
+
+    return add
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if _BENCH_ENTRIES:
+        write_bench_json(BENCH_JSON_PATH, _BENCH_ENTRIES)
+        terminalreporter.write_line(
+            f"[{len(_BENCH_ENTRIES)} benchmark entries merged into "
+            f"{BENCH_JSON_PATH}]"
+        )
+        _BENCH_ENTRIES.clear()
     populated = [r for r in _REPORTS.values() if r.rows]
     if not populated:
         return

@@ -1,0 +1,65 @@
+"""Render the README benchmark table from ``BENCH_skyline.json``.
+
+Reads the ``parallel_speedup`` entries of the repo-root benchmark
+document and prints a GitHub-markdown table of refine-phase times for
+the bloom baseline vs the packed-bitset kernel, with the speedup ratio
+— the table pasted into README.md.  Keeping the renderer next to the
+data means the README numbers are always regenerable::
+
+    PYTHONPATH=src python benchmarks/render_bench_table.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.harness.benchjson import BENCH_FILENAME, load_bench_json
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def render(entries) -> str:
+    by_key = {
+        (e["instance"], e["algorithm"]): e
+        for e in entries
+        if e["bench"] == "parallel_speedup"
+    }
+    instances = sorted({k[0] for k in by_key})
+    lines = [
+        "| dataset | refine bloom (s) | refine bitset (s) | speedup |",
+        "|---|---|---|---|",
+    ]
+    for name in instances:
+        bloom = by_key.get((name, "FilterRefineSky"))
+        bit = by_key.get((name, "FilterRefineSkyBitset"))
+        if bloom is None or bit is None:
+            continue
+        ratio = bit.get("extra", {}).get(
+            "refine_speedup_vs_bloom",
+            bloom["refine_s"] / bit["refine_s"],
+        )
+        lines.append(
+            f"| {name} | {bloom['refine_s']:.4f} | {bit['refine_s']:.4f} "
+            f"| {ratio:.2f}x |"
+        )
+    return "\n".join(lines)
+
+
+def main() -> int:
+    path = os.path.join(REPO_ROOT, BENCH_FILENAME)
+    entries = load_bench_json(path)
+    if not entries:
+        print(
+            f"no entries in {path}; run "
+            "`PYTHONPATH=src python -m pytest benchmarks/"
+            "bench_parallel_speedup.py` first",
+            file=sys.stderr,
+        )
+        return 1
+    print(render(entries))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

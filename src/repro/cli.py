@@ -113,7 +113,10 @@ def _cmd_skyline(args: argparse.Namespace) -> int:
     if algorithm == "filter_refine_parallel":
         options["workers"] = workers
     elif workers != 1:
-        if algorithm != "filter_refine":
+        if algorithm == "filter_refine_bitset":
+            # Same engine, bitset kernel in the workers.
+            options["refine"] = "bitset"
+        elif algorithm != "filter_refine":
             raise ParameterError(
                 f"--workers applies to the filter_refine family, not "
                 f"{algorithm!r}"

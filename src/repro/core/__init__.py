@@ -12,6 +12,7 @@ from repro.core.api import (
     neighborhood_skyline,
 )
 from repro.core.base_sky import base_sky
+from repro.core.bitset_refine import filter_refine_bitset_sky
 from repro.core.counters import SkylineCounters
 from repro.core.cset import base_cset_sky
 from repro.core.dynamic import DynamicSkyline
@@ -52,6 +53,7 @@ __all__ = [
     "neighborhood_included",
     "two_hop_neighbors",
     "filter_phase",
+    "filter_refine_bitset_sky",
     "filter_refine_sky",
     "lc_join_sky",
     "dominance_layers",

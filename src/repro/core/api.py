@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.core.base_sky import base_sky
+from repro.core.bitset_refine import filter_refine_bitset_sky
 from repro.core.counters import SkylineCounters
 from repro.core.cset import base_cset_sky
 from repro.core.filter_phase import filter_phase
@@ -28,6 +29,7 @@ __all__ = ["neighborhood_skyline", "neighborhood_candidates", "ALGORITHMS"]
 #: plus the naive reference and the multi-worker refine engine.
 ALGORITHMS: dict[str, Callable[..., SkylineResult]] = {
     "filter_refine": filter_refine_sky,
+    "filter_refine_bitset": filter_refine_bitset_sky,
     "filter_refine_parallel": parallel_refine_sky,
     "base": base_sky,
     "two_hop": base_two_hop_sky,
@@ -52,7 +54,10 @@ def neighborhood_skyline(
         The input graph.
     algorithm:
         One of ``"filter_refine"`` (the paper's FilterRefineSky — the
-        default and fastest), ``"filter_refine_parallel"`` (the same
+        default), ``"filter_refine_bitset"`` (the same result via the
+        packed-bitset refine kernel — the fastest on dense candidate
+        sets, with an automatic bloom fallback past its word budget),
+        ``"filter_refine_parallel"`` (the same
         result computed with a multi-worker refine phase), ``"base"``
         (BaseSky), ``"two_hop"`` (Base2Hop), ``"cset"`` (BaseCSet),
         ``"lc_join"`` (the containment-join baseline) or ``"naive"``
@@ -61,8 +66,9 @@ def neighborhood_skyline(
         Optional :class:`SkylineCounters` to collect work statistics.
     options:
         Algorithm-specific keywords, e.g. ``bloom_bits`` / ``seed`` /
-        ``exact`` for ``"filter_refine"`` and ``"two_hop"``, or
-        ``workers`` / ``chunk_size`` for ``"filter_refine_parallel"``.
+        ``exact`` for ``"filter_refine"`` and ``"two_hop"``,
+        ``word_budget`` for ``"filter_refine_bitset"``, or ``workers``
+        / ``chunk_size`` / ``refine`` for ``"filter_refine_parallel"``.
 
     >>> from repro.graph.generators import complete_graph
     >>> neighborhood_skyline(complete_graph(5)).skyline

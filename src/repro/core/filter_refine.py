@@ -26,6 +26,11 @@ as lines 12–19 of the paper:
 When a dominator ``w`` survives all checks: strict domination
 (``deg(w) > deg(u)``) removes ``u`` and stops its scan; mutual inclusion
 (equal degrees) applies the ID tie-break and continues scanning.
+
+The refine loop itself is exposed as :func:`bloom_refine_pass` so the
+bitset engine (:mod:`repro.core.bitset_refine`) can reuse it verbatim
+when its dense/sparse cutover falls back to the bloom path — same scan,
+same counters, no second filter phase.
 """
 
 from __future__ import annotations
@@ -38,7 +43,95 @@ from repro.core.filter_phase import filter_phase
 from repro.core.result import SkylineResult
 from repro.graph.adjacency import Graph
 
-__all__ = ["filter_refine_sky"]
+__all__ = ["filter_refine_sky", "bloom_refine_pass"]
+
+
+def bloom_refine_pass(
+    graph: Graph,
+    candidates: list[int],
+    dominator: list[int],
+    blooms: VertexBloomIndex,
+    stats: SkylineCounters,
+    *,
+    exact: bool = True,
+) -> None:
+    """Run Algorithm 3's refine loop in place over ``dominator``.
+
+    Per-pair ``degree(w)`` and ``filter_word(w)`` lookups are hoisted
+    into flat arrays built once per pass — ``deg`` over all vertices
+    (the degree skip fires for arbitrary 2-hop ``w``), ``fw`` filled
+    for the candidates (the only vertices whose filters are ever read:
+    everyone else fails the ``O(w) = w`` check first).  Pure lookup
+    motion; the counter stream is identical to the unhoisted scan.
+    """
+    n = graph.num_vertices
+    bit_of = blooms.bit_masks
+    neighbors = graph.neighbors
+    has_edge = graph.has_edge
+    deg = [len(neighbors(x)) for x in range(n)]
+    filter_word = blooms.filter_word
+    fw = [0] * n
+    for u in candidates:
+        fw[u] = filter_word(u)
+
+    for u in candidates:
+        if dominator[u] != u:
+            continue
+        stats.vertices_examined += 1
+        deg_u = deg[u]
+        bf_u = fw[u]
+        nbrs_u = neighbors(u)
+        strictly_dominated = False
+        for v in nbrs_u:
+            if strictly_dominated:
+                break
+            for w in neighbors(v):
+                if w == u:
+                    continue
+                if deg[w] < deg_u:
+                    stats.degree_skips += 1
+                    continue
+                if dominator[w] != w:
+                    # w is dominated; its dominator covers u transitively.
+                    stats.dominated_skips += 1
+                    continue
+                stats.pair_tests += 1
+                bf_w = fw[w]
+                if bf_u & bf_w != bf_u:
+                    # Some neighbor of u is provably missing from N(w).
+                    stats.bloom_subset_rejects += 1
+                    continue
+                dominated_by_w = True
+                for x in nbrs_u:
+                    if x == v:
+                        continue
+                    stats.bloom_member_checks += 1
+                    if not (bf_w & bit_of[x]):
+                        # BFcheck: x surely not in N(w).
+                        stats.bloom_member_rejects += 1
+                        dominated_by_w = False
+                        break
+                    if exact:
+                        stats.nbr_checks += 1
+                        if not has_edge(w, x):
+                            # NBRcheck caught a bloom false positive.
+                            stats.bloom_false_positives += 1
+                            dominated_by_w = False
+                            break
+                if not dominated_by_w:
+                    continue
+                # N(u) ⊆ N[w] certified (v itself is adjacent to w).
+                if deg[w] == deg_u:
+                    # Mutual inclusion: smaller ID dominates; keep
+                    # scanning either way (paper lines 22-25).
+                    if u > w and dominator[u] == u:
+                        dominator[u] = w
+                        stats.dominations_found += 1
+                elif dominator[u] == u:
+                    dominator[u] = w
+                    stats.dominations_found += 1
+                    strictly_dominated = True
+                    break
 
 
 def filter_refine_sky(
@@ -87,70 +180,9 @@ def filter_refine_sky(
         seed=seed,
         bits_per_element=bits_per_element,
     )
-    filter_word = blooms.filter_word
-    bit_of = blooms.bit_masks
-    neighbors = graph.neighbors
-    degree = graph.degree
-    has_edge = graph.has_edge
-
-    for u in candidates:
-        if dominator[u] != u:
-            continue
-        stats.vertices_examined += 1
-        deg_u = degree(u)
-        bf_u = filter_word(u)
-        nbrs_u = neighbors(u)
-        strictly_dominated = False
-        for v in nbrs_u:
-            if strictly_dominated:
-                break
-            for w in neighbors(v):
-                if w == u:
-                    continue
-                if degree(w) < deg_u:
-                    stats.degree_skips += 1
-                    continue
-                if dominator[w] != w:
-                    # w is dominated; its dominator covers u transitively.
-                    stats.dominated_skips += 1
-                    continue
-                stats.pair_tests += 1
-                bf_w = filter_word(w)
-                if bf_u & bf_w != bf_u:
-                    # Some neighbor of u is provably missing from N(w).
-                    stats.bloom_subset_rejects += 1
-                    continue
-                dominated_by_w = True
-                for x in nbrs_u:
-                    if x == v:
-                        continue
-                    stats.bloom_member_checks += 1
-                    if not (bf_w & bit_of[x]):
-                        # BFcheck: x surely not in N(w).
-                        stats.bloom_member_rejects += 1
-                        dominated_by_w = False
-                        break
-                    if exact:
-                        stats.nbr_checks += 1
-                        if not has_edge(w, x):
-                            # NBRcheck caught a bloom false positive.
-                            stats.bloom_false_positives += 1
-                            dominated_by_w = False
-                            break
-                if not dominated_by_w:
-                    continue
-                # N(u) ⊆ N[w] certified (v itself is adjacent to w).
-                if degree(w) == deg_u:
-                    # Mutual inclusion: smaller ID dominates; keep
-                    # scanning either way (paper lines 22-25).
-                    if u > w and dominator[u] == u:
-                        dominator[u] = w
-                        stats.dominations_found += 1
-                elif dominator[u] == u:
-                    dominator[u] = w
-                    stats.dominations_found += 1
-                    strictly_dominated = True
-                    break
+    bloom_refine_pass(
+        graph, candidates, dominator, blooms, stats, exact=exact
+    )
 
     skyline = tuple(u for u in range(n) if dominator[u] == u)
     return SkylineResult(

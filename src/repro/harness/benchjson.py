@@ -1,0 +1,139 @@
+"""Machine-readable benchmark trajectory: ``BENCH_skyline.json``.
+
+The figure reports under ``benchmarks/reports/`` are for humans; this
+module writes the same measurements as one JSON document at the repo
+root so tooling (CI smoke checks, the README table renderer, future
+regression tracking) can consume them without parsing tables.
+
+Document shape (``schema`` version 1)::
+
+    {
+      "schema": 1,
+      "entries": [
+        {
+          "bench": "parallel_speedup",        # producing benchmark
+          "instance": "wikitalk_sim",          # registry dataset name
+          "algorithm": "FilterRefineSkyBitset",
+          "wall_s": 0.0123,                    # end-to-end wall time
+          "refine_s": 0.0075,                  # refine phase only (opt.)
+          "counters": {"pair_tests": ...},     # as_dict() sums (opt.)
+          "extra": {"speedup_vs_bloom": 3.5}   # free-form (opt.)
+        },
+        ...
+      ]
+    }
+
+Entries are keyed by ``(bench, instance, algorithm)``: merging a new
+batch replaces entries with matching keys and keeps the rest, so
+benchmark modules can each contribute their slice without clobbering
+one another, and re-runs update in place.  The entry list is kept
+sorted by key and floats are written as-is — the file is deterministic
+for deterministic measurements, and diff-friendly either way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Iterable, Optional
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "bench_entry",
+    "entry_key",
+    "load_bench_json",
+    "merge_entries",
+    "write_bench_json",
+]
+
+SCHEMA_VERSION = 1
+
+#: Default document name, expected at the repository root.
+BENCH_FILENAME = "BENCH_skyline.json"
+
+
+def bench_entry(
+    *,
+    bench: str,
+    instance: str,
+    algorithm: str,
+    wall_s: float,
+    refine_s: Optional[float] = None,
+    counters: Optional[dict] = None,
+    extra: Optional[dict] = None,
+) -> dict:
+    """One measurement record, in the schema's entry shape."""
+    entry: dict[str, Any] = {
+        "bench": bench,
+        "instance": instance,
+        "algorithm": algorithm,
+        "wall_s": wall_s,
+    }
+    if refine_s is not None:
+        entry["refine_s"] = refine_s
+    if counters:
+        entry["counters"] = dict(counters)
+    if extra:
+        entry["extra"] = dict(extra)
+    return entry
+
+
+def entry_key(entry: dict) -> tuple[str, str, str]:
+    """The identity under which an entry merges: bench/instance/algorithm."""
+    return (entry["bench"], entry["instance"], entry["algorithm"])
+
+
+def merge_entries(
+    existing: Iterable[dict], new: Iterable[dict]
+) -> list[dict]:
+    """New entries replace same-key old ones; the rest carry over, sorted."""
+    merged = {entry_key(e): e for e in existing}
+    for e in new:
+        merged[entry_key(e)] = e
+    return [merged[k] for k in sorted(merged)]
+
+
+def load_bench_json(path: str) -> list[dict]:
+    """The entry list of an existing document (``[]`` if absent/alien).
+
+    A document with an unexpected schema version is treated as absent
+    rather than an error: the writer will replace it wholesale, which
+    is the only sane upgrade path for a generated artifact.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError):
+        return []
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA_VERSION:
+        return []
+    entries = doc.get("entries", [])
+    return entries if isinstance(entries, list) else []
+
+
+def write_bench_json(path: str, entries: Iterable[dict]) -> list[dict]:
+    """Merge ``entries`` into the document at ``path``; returns the result.
+
+    The merge-then-replace is atomic (temp file + ``os.replace`` in the
+    target directory), so a crashed benchmark run never leaves a
+    half-written document behind.
+    """
+    merged = merge_entries(load_bench_json(path), entries)
+    doc = {"schema": SCHEMA_VERSION, "entries": merged}
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=".bench_json_", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return merged

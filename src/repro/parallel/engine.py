@@ -35,11 +35,17 @@ from array import array
 from typing import Optional
 
 from repro.bloom.vertex_filters import width_for_max_degree
+from repro.core.bitset_refine import DEFAULT_WORD_BUDGET
 from repro.core.counters import SkylineCounters
 from repro.core.filter_phase import filter_phase
 from repro.core.result import SkylineResult
 from repro.errors import ParameterError
 from repro.graph.adjacency import Graph
+from repro.graph.bitmatrix import (
+    HAVE_NUMPY,
+    CandidateBitMatrix,
+    matrix_words,
+)
 from repro.parallel.chunks import chunk_ranges, default_chunk_size
 from repro.parallel.worker import (
     build_payload,
@@ -84,6 +90,8 @@ def parallel_refine_sky(
     seed: int = 0,
     counters: Optional[SkylineCounters] = None,
     exact: bool = True,
+    refine: str = "bloom",
+    word_budget: Optional[int] = None,
 ) -> SkylineResult:
     """Compute the neighborhood skyline with a parallel refine phase.
 
@@ -109,6 +117,21 @@ def parallel_refine_sky(
         its one-sided bloom errors are not transitive, so the
         dominated-dominator skips it rides on are schedule-dependent
         and a parallel run could return a different subset.
+    refine:
+        Pair-test kernel for the scans: ``"bloom"`` (the default bloom
+        ladder) or ``"bitset"`` (the packed AND-NOT of
+        :mod:`repro.core.bitset_refine`; the parent packs the candidate
+        matrix once and ships raw words, workers rebuild views).  Both
+        kernels accept exactly the same pairs, so the result is
+        identical either way; counters differ (bitset scans never
+        iterate non-candidates and keep ``bloom_*`` at zero) but remain
+        deterministic for any worker count and chunking.
+    word_budget:
+        Bitset cutover as in
+        :func:`~repro.core.bitset_refine.filter_refine_bitset_sky`:
+        when ``|C| · ⌈n/64⌉`` words exceed it (or numpy is missing) a
+        ``refine="bitset"`` run falls back to the bloom kernel and
+        records ``counters.extra["refine_path"] == "bloom-fallback"``.
 
     The result's ``skyline``/``dominator``/``candidates`` are identical
     to the sequential ``filter_refine_sky`` for any worker count.
@@ -118,6 +141,16 @@ def parallel_refine_sky(
             "the parallel engine computes the exact skyline only; use "
             "algorithm='filter_refine' with exact=False for the "
             "approximate variant"
+        )
+    if refine not in ("bloom", "bitset"):
+        raise ParameterError(
+            f"unknown refine kernel {refine!r}; choose 'bloom' or 'bitset'"
+        )
+    if word_budget is None:
+        word_budget = DEFAULT_WORD_BUDGET
+    elif word_budget < 0:
+        raise ParameterError(
+            f"word_budget must be >= 0, got {word_budget}"
         )
     if workers is None:
         workers = default_worker_count()
@@ -140,6 +173,20 @@ def parallel_refine_sky(
     n = graph.num_vertices
     candidates, dominator = filter_phase(graph, counters=counters)
 
+    # The dense/sparse cutover is decided here in the parent — workers
+    # never second-guess it — so one run uses one kernel throughout.
+    effective_refine = refine
+    words_needed = matrix_words(len(candidates), n)
+    if refine == "bitset" and (
+        not HAVE_NUMPY or words_needed > word_budget
+    ):
+        effective_refine = "bloom"
+    matrix = (
+        CandidateBitMatrix.from_graph(graph, candidates)
+        if effective_refine == "bitset"
+        else None
+    )
+
     size = chunk_size or default_chunk_size(len(candidates), workers)
     status_tasks = chunk_ranges(len(candidates), size)
     use_pool = workers > 1 and graph.num_edges >= small_graph_edges
@@ -147,7 +194,13 @@ def parallel_refine_sky(
     chunk_dicts: list[dict] = []
     if use_pool:
         payload = build_payload(
-            graph, candidates, dominator, bits=bits, seed=seed
+            graph,
+            candidates,
+            dominator,
+            bits=bits,
+            seed=seed,
+            refine=effective_refine,
+            matrix=matrix,
         )
         pool = _pool_context().Pool(
             processes=workers, initializer=init_worker, initargs=(payload,)
@@ -171,7 +224,13 @@ def parallel_refine_sky(
             pool.join()
     else:
         state = build_state(
-            graph, candidates, dominator, bits=bits, seed=seed
+            graph,
+            candidates,
+            dominator,
+            bits=bits,
+            seed=seed,
+            refine=effective_refine,
+            matrix=matrix,
         )
         dominated = []
         for task in status_tasks:
@@ -195,6 +254,11 @@ def parallel_refine_sky(
         counters.extra["parallel_workers"] = workers
         counters.extra["parallel_chunks"] = len(status_tasks)
         counters.extra["parallel_rescans"] = len(dominated)
+        if refine == "bitset" and effective_refine == "bloom":
+            counters.extra["refine_path"] = "bloom-fallback"
+            counters.extra["bitset_words_over_budget"] = words_needed
+        else:
+            counters.extra["refine_path"] = effective_refine
 
     skyline = tuple(u for u in range(n) if final[u] == u)
     return SkylineResult(

@@ -29,6 +29,18 @@ rebuild once per process from a pickle-cheap CSR payload
 (:meth:`~repro.graph.adjacency.Graph.to_csr`) and then reuse for every
 chunk they are handed — including the per-worker
 :class:`~repro.bloom.vertex_filters.VertexBloomIndex`.
+
+Both passes also come in a packed-bitset flavor
+(:func:`scan_status_bitset` / :func:`scan_witness_bitset`): the same
+two-pass decomposition with the per-pair test replaced by the
+word-parallel AND-NOT of :mod:`repro.core.bitset_refine`.  The engine
+packs the candidate matrix **once in the parent**, ships its raw words
+inside the payload, and workers rebuild zero-copy *views*
+(:meth:`~repro.graph.bitmatrix.CandidateBitMatrix.from_payload`) —
+rows are never re-packed per process.  Equivalence transfers verbatim:
+the decomposition argument above never looks inside the pair test, only
+at which pairs are skipped, and the bitset test accepts exactly the
+pairs the exact bloom ladder accepts.
 """
 
 from __future__ import annotations
@@ -37,8 +49,10 @@ from array import array
 from typing import Optional, Sequence
 
 from repro.bloom.vertex_filters import VertexBloomIndex
+from repro.core.bitset_refine import BitsetScanContext
 from repro.core.counters import SkylineCounters
 from repro.graph.adjacency import Graph
+from repro.graph.bitmatrix import CandidateBitMatrix
 
 __all__ = [
     "RefineState",
@@ -48,27 +62,47 @@ __all__ = [
     "run_status_chunk",
     "run_witness_chunk",
     "scan_status",
+    "scan_status_bitset",
     "scan_witness",
+    "scan_witness_bitset",
 ]
 
 
 class RefineState:
-    """Everything a refine scan needs, built once per worker process."""
+    """Everything a refine scan needs, built once per worker process.
 
-    __slots__ = ("graph", "candidates", "dominator", "blooms", "refine_dominated")
+    ``refine`` selects the kernel: ``"bloom"`` states carry a
+    :class:`VertexBloomIndex`, ``"bitset"`` states a
+    :class:`~repro.core.bitset_refine.BitsetScanContext` (and no blooms
+    — workers in bitset mode never build a filter index).
+    """
+
+    __slots__ = (
+        "graph",
+        "candidates",
+        "dominator",
+        "blooms",
+        "ctx",
+        "refine",
+        "refine_dominated",
+    )
 
     def __init__(
         self,
         graph: Graph,
         candidates: Sequence[int],
         dominator: Sequence[int],
-        blooms: VertexBloomIndex,
+        blooms: Optional[VertexBloomIndex],
+        ctx: Optional[BitsetScanContext] = None,
+        refine: str = "bloom",
     ):
         self.graph = graph
         self.candidates = candidates
         #: Filter-phase dominator array, frozen for the whole refine.
         self.dominator = dominator
         self.blooms = blooms
+        self.ctx = ctx
+        self.refine = refine
         #: Per-vertex flags for the witness pass; set lazily from the
         #: status-pass output (``None`` until then).
         self.refine_dominated: Optional[bytearray] = None
@@ -81,8 +115,17 @@ def build_state(
     *,
     bits: int,
     seed: int,
+    refine: str = "bloom",
+    matrix: Optional[CandidateBitMatrix] = None,
 ) -> RefineState:
     """A :class:`RefineState` over a live graph (in-process execution)."""
+    if refine == "bitset":
+        ctx = BitsetScanContext(
+            graph, candidates, matrix, instrumented=False
+        )
+        return RefineState(
+            graph, candidates, dominator, None, ctx, refine
+        )
     blooms = VertexBloomIndex(graph, candidates, bits=bits, seed=seed)
     return RefineState(graph, candidates, dominator, blooms)
 
@@ -94,8 +137,15 @@ def build_payload(
     *,
     bits: int,
     seed: int,
+    refine: str = "bloom",
+    matrix: Optional[CandidateBitMatrix] = None,
 ) -> tuple:
-    """The pickle-cheap snapshot shipped to every worker's initializer."""
+    """The pickle-cheap snapshot shipped to every worker's initializer.
+
+    In bitset mode the matrix rides along as its
+    :meth:`~repro.graph.bitmatrix.CandidateBitMatrix.to_payload` raw
+    bytes; workers rebuild read-only views, never re-pack.
+    """
     indptr, indices = graph.to_csr()
     return (
         indptr,
@@ -104,6 +154,8 @@ def build_payload(
         array("q", dominator),
         bits,
         seed,
+        refine,
+        matrix.to_payload() if matrix is not None else None,
     )
 
 
@@ -112,11 +164,33 @@ _STATE: Optional[RefineState] = None
 
 
 def init_worker(payload: tuple) -> None:
-    """Pool initializer: rebuild graph, candidates and blooms once."""
+    """Pool initializer: rebuild graph, candidates and the kernel once."""
     global _STATE
-    indptr, indices, candidates, dominator, bits, seed = payload
+    (
+        indptr,
+        indices,
+        candidates,
+        dominator,
+        bits,
+        seed,
+        refine,
+        matrix_payload,
+    ) = payload
     graph = Graph.from_csr(indptr, indices)
-    _STATE = build_state(graph, candidates, dominator, bits=bits, seed=seed)
+    matrix = (
+        CandidateBitMatrix.from_payload(matrix_payload)
+        if matrix_payload is not None
+        else None
+    )
+    _STATE = build_state(
+        graph,
+        candidates,
+        dominator,
+        bits=bits,
+        seed=seed,
+        refine=refine,
+        matrix=matrix,
+    )
 
 
 def scan_status(state: RefineState, u: int, stats: SkylineCounters) -> bool:
@@ -242,6 +316,96 @@ def scan_witness(state: RefineState, u: int, stats: SkylineCounters) -> int:
     )
 
 
+def scan_status_bitset(
+    state: RefineState, u: int, stats: SkylineCounters
+) -> bool:
+    """Bitset-kernel status pass: ``True`` iff ``u`` has a 2-hop dominator.
+
+    Same skip predicate as :func:`scan_status` (frozen filter-phase
+    dominations only), with the pair test replaced by the packed
+    AND-NOT and its stamp-cached verdicts.  Counter stream: the ladder
+    counters cover only the candidate members of each visited neighbor
+    list (the kernel never iterates non-candidates); ``bloom_*`` and
+    ``nbr_checks`` stay zero.
+    """
+    ctx = state.ctx
+    dominator = state.dominator
+    deg = ctx.deg
+    cand_groups = ctx.cand_groups
+    seen = ctx.seen
+
+    stats.vertices_examined += 1
+    stamp = ctx.next_stamp()
+    deg_u = deg[u]
+    row_u = ctx.row_int[u]
+    for v in state.graph.neighbors(u):
+        for w, deg_w, comp_w in cand_groups[v]:
+            if w == u:
+                continue
+            if deg_w < deg_u:
+                stats.degree_skips += 1
+                continue
+            if dominator[w] != w:
+                stats.dominated_skips += 1
+                continue
+            stats.pair_tests += 1
+            if seen[w] == stamp:
+                # Cached verdict: a failing w stays failing, a passing
+                # w that didn't settle u (mutual won by u) never will.
+                continue
+            seen[w] = stamp
+            if row_u & comp_w:
+                continue
+            if deg_w > deg_u or u > w:
+                stats.dominations_found += 1
+                return True
+            # Mutual inclusion won by u (u < w): u stays, keep scanning.
+    return False
+
+
+def scan_witness_bitset(
+    state: RefineState, u: int, stats: SkylineCounters
+) -> int:
+    """Bitset-kernel witness pass: the sequential dominator entry for ``u``.
+
+    Same skip predicate as :func:`scan_witness` — both inputs to it
+    (filter dominations and the status-pass flags) are frozen, so the
+    stamp cache remains sound here too.
+    """
+    ctx = state.ctx
+    dominator = state.dominator
+    refine_dominated = state.refine_dominated
+    deg = ctx.deg
+    cand_groups = ctx.cand_groups
+    seen = ctx.seen
+
+    stamp = ctx.next_stamp()
+    deg_u = deg[u]
+    row_u = ctx.row_int[u]
+    for v in state.graph.neighbors(u):
+        for w, deg_w, comp_w in cand_groups[v]:
+            if w == u:
+                continue
+            if deg_w < deg_u:
+                stats.degree_skips += 1
+                continue
+            if dominator[w] != w or (w < u and refine_dominated[w]):
+                stats.dominated_skips += 1
+                continue
+            stats.pair_tests += 1
+            if seen[w] == stamp:
+                continue
+            seen[w] = stamp
+            if row_u & comp_w:
+                continue
+            if deg_w > deg_u or u > w:
+                return w
+    raise RuntimeError(
+        f"refine witness for vertex {u} vanished between passes; "
+        "this indicates a bug in the status pass"
+    )
+
+
 def _ensure_flags(state: RefineState, dominated: Sequence[int]) -> None:
     if state.refine_dominated is None:
         flags = bytearray(state.graph.num_vertices)
@@ -260,9 +424,10 @@ def run_status_chunk(task: tuple, state: Optional[RefineState] = None):
     lo, hi = task
     if state is None:
         state = _STATE
+    scan = scan_status_bitset if state.refine == "bitset" else scan_status
     stats = SkylineCounters()
     dominated = [
-        u for u in state.candidates[lo:hi] if scan_status(state, u, stats)
+        u for u in state.candidates[lo:hi] if scan(state, u, stats)
     ]
     return dominated, stats.as_dict()
 
@@ -279,6 +444,7 @@ def run_witness_chunk(task: tuple, state: Optional[RefineState] = None):
     if state is None:
         state = _STATE
     _ensure_flags(state, dominated)
+    scan = scan_witness_bitset if state.refine == "bitset" else scan_witness
     stats = SkylineCounters()
-    pairs = [(u, scan_witness(state, u, stats)) for u in dominated[lo:hi]]
+    pairs = [(u, scan(state, u, stats)) for u in dominated[lo:hi]]
     return pairs, stats.as_dict()

@@ -1,0 +1,92 @@
+"""Unit tests for the BENCH_skyline.json reader/writer."""
+
+import json
+import os
+
+from repro.harness.benchjson import (
+    SCHEMA_VERSION,
+    bench_entry,
+    entry_key,
+    load_bench_json,
+    merge_entries,
+    write_bench_json,
+)
+
+
+def test_bench_entry_shape():
+    e = bench_entry(
+        bench="b",
+        instance="i",
+        algorithm="a",
+        wall_s=1.5,
+        refine_s=0.5,
+        counters={"pair_tests": 3},
+        extra={"speedup": 2.0},
+    )
+    assert entry_key(e) == ("b", "i", "a")
+    assert e["wall_s"] == 1.5
+    assert e["refine_s"] == 0.5
+    assert e["counters"] == {"pair_tests": 3}
+    assert e["extra"] == {"speedup": 2.0}
+
+
+def test_bench_entry_optional_fields_omitted():
+    e = bench_entry(bench="b", instance="i", algorithm="a", wall_s=1.0)
+    assert "refine_s" not in e
+    assert "counters" not in e
+    assert "extra" not in e
+
+
+def test_merge_replaces_same_key_keeps_rest():
+    old = [
+        bench_entry(bench="b", instance="x", algorithm="a", wall_s=1.0),
+        bench_entry(bench="b", instance="y", algorithm="a", wall_s=2.0),
+    ]
+    new = [bench_entry(bench="b", instance="x", algorithm="a", wall_s=9.0)]
+    merged = merge_entries(old, new)
+    assert len(merged) == 2
+    by_key = {entry_key(e): e for e in merged}
+    assert by_key[("b", "x", "a")]["wall_s"] == 9.0
+    assert by_key[("b", "y", "a")]["wall_s"] == 2.0
+    # Sorted by key.
+    assert [entry_key(e) for e in merged] == sorted(entry_key(e) for e in merged)
+
+
+def test_write_and_load_roundtrip(tmp_path):
+    path = str(tmp_path / "BENCH_skyline.json")
+    first = [bench_entry(bench="b", instance="x", algorithm="a", wall_s=1.0)]
+    write_bench_json(path, first)
+    assert load_bench_json(path) == first
+
+    doc = json.load(open(path))
+    assert doc["schema"] == SCHEMA_VERSION
+
+    second = [
+        bench_entry(bench="b", instance="x", algorithm="a", wall_s=3.0),
+        bench_entry(bench="c", instance="x", algorithm="a", wall_s=4.0),
+    ]
+    merged = write_bench_json(path, second)
+    assert len(merged) == 2
+    assert load_bench_json(path) == merged
+    assert not [
+        f for f in os.listdir(tmp_path) if f.startswith(".bench_json_")
+    ]
+
+
+def test_load_missing_or_alien_documents(tmp_path):
+    assert load_bench_json(str(tmp_path / "absent.json")) == []
+
+    garbage = tmp_path / "garbage.json"
+    garbage.write_text("not json {")
+    assert load_bench_json(str(garbage)) == []
+
+    alien = tmp_path / "alien.json"
+    alien.write_text(json.dumps({"schema": 999, "entries": [{"x": 1}]}))
+    assert load_bench_json(str(alien)) == []
+
+    # An alien document is replaced wholesale on the next write.
+    write_bench_json(
+        str(alien),
+        [bench_entry(bench="b", instance="i", algorithm="a", wall_s=1.0)],
+    )
+    assert len(load_bench_json(str(alien))) == 1

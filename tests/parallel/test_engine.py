@@ -81,6 +81,37 @@ def test_approximate_mode_rejected(karate):
         parallel_refine_sky(karate, exact=False)
 
 
+def test_unknown_refine_kernel_rejected(karate):
+    with pytest.raises(ParameterError, match="refine kernel"):
+        parallel_refine_sky(karate, refine="murmur")
+
+
+def test_negative_word_budget_rejected(karate):
+    with pytest.raises(ParameterError, match="word_budget"):
+        parallel_refine_sky(karate, refine="bitset", word_budget=-1)
+
+
+def test_bitset_refine_over_budget_falls_back(karate):
+    counters = SkylineCounters()
+    result = parallel_refine_sky(
+        karate, refine="bitset", word_budget=0, counters=counters
+    )
+    assert counters.extra["refine_path"] == "bloom-fallback"
+    assert "bitset_words_over_budget" in counters.extra
+    assert result.skyline == filter_refine_sky(karate).skyline
+
+
+def test_bitset_refine_records_path(karate):
+    counters = SkylineCounters()
+    result = parallel_refine_sky(
+        karate, refine="bitset", counters=counters
+    )
+    assert counters.extra["refine_path"] == "bitset"
+    seq = filter_refine_sky(karate)
+    assert result.skyline == seq.skyline
+    assert result.dominator == seq.dominator
+
+
 def test_small_graph_stays_in_process(karate):
     assert karate.num_edges < SMALL_GRAPH_EDGES
     counters = SkylineCounters()
