@@ -1,0 +1,91 @@
+"""Shared recording helper for the eager-vs-lazy greedy benchmarks.
+
+Figs. 7/8 (k-ladder) and 11/12 (scalability) all pair an eager greedy
+run with the lazy (CELF + CSR kernels) schedule of the identical
+computation.  :func:`record_lazy` logs one lazy measurement: a
+``BENCH_skyline.json`` entry carrying wall time and both evaluation
+counters, plus — when the matching eager test already ran in this
+session — a row in a per-figure "lazy" report with the wall-clock
+speedup.
+"""
+
+from __future__ import annotations
+
+from repro.harness.benchjson import bench_entry
+
+
+def record_lazy(
+    figure_report,
+    bench_json,
+    results: dict,
+    *,
+    bench: str,
+    figure: str,
+    instance: str,
+    key,
+    label_args,
+    eager_label: str,
+    lazy_label: str,
+    elapsed: float,
+    result,
+) -> None:
+    """Log one lazy greedy run.
+
+    ``results`` is the producing module's accumulator keyed by ``key``;
+    the eager tests must have stored ``eager_label`` (wall seconds) and
+    ``eager_label + "_evals"`` under the same key for the speedup row
+    to appear.  ``label_args`` are the leading report-row cells (e.g.
+    ``(name, k)`` or ``(axis, fraction)``); ``instance`` / the
+    ``lazy_label(...)`` algorithm string form the JSON entry identity.
+    """
+    row = results.setdefault(key, {})
+    row[lazy_label] = elapsed
+    row[lazy_label + "_evals"] = result.evaluations
+    extra = {
+        "strategy": "lazy",
+        "evaluations": result.evaluations,
+        "evaluations_saved": result.evaluations_saved,
+    }
+    eager_s = row.get(eager_label)
+    eager_evals = row.get(eager_label + "_evals")
+    if eager_s is not None:
+        extra["eager_wall_s"] = eager_s
+        extra["speedup_vs_eager"] = eager_s / elapsed
+        if eager_evals is not None:
+            extra["eager_evaluations"] = int(eager_evals)
+    bench_json(
+        bench_entry(
+            bench=bench,
+            instance=instance,
+            algorithm=f"{lazy_label}({', '.join(map(str, label_args))})",
+            wall_s=elapsed,
+            extra=extra,
+        )
+    )
+    if eager_s is None:
+        return
+    report = figure_report(
+        f"{figure} lazy",
+        f"{figure}: eager vs lazy (CELF + CSR kernels) schedules of "
+        "the identical greedy computation",
+        (
+            "instance",
+            "params",
+            "eager (s)",
+            "lazy (s)",
+            "speedup",
+            "eager evals",
+            "lazy evals",
+            "saved",
+        ),
+    )
+    report.add_row(
+        instance,
+        "/".join(map(str, label_args)),
+        eager_s,
+        elapsed,
+        eager_s / elapsed,
+        int(eager_evals) if eager_evals is not None else -1,
+        result.evaluations,
+        result.evaluations_saved,
+    )

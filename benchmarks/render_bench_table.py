@@ -1,10 +1,12 @@
-"""Render the README benchmark table from ``BENCH_skyline.json``.
+"""Render the README benchmark tables from ``BENCH_skyline.json``.
 
-Reads the ``parallel_speedup`` entries of the repo-root benchmark
-document and prints a GitHub-markdown table of refine-phase times for
-the bloom baseline vs the packed-bitset kernel, with the speedup ratio
-— the table pasted into README.md.  Keeping the renderer next to the
-data means the README numbers are always regenerable::
+Reads the repo-root benchmark document and prints GitHub-markdown
+tables pasted into README.md — refine-phase times for the bloom
+baseline vs the packed-bitset kernel (``parallel_speedup`` entries),
+and eager vs lazy (CELF + CSR) group-centrality wall times with their
+evaluation counts (``fig7_group_closeness``/``fig8_group_harmonic``
+entries).  Keeping the renderer next to the data means the README
+numbers are always regenerable::
 
     PYTHONPATH=src python benchmarks/render_bench_table.py
 """
@@ -46,6 +48,56 @@ def render(entries) -> str:
     return "\n".join(lines)
 
 
+#: (bench, objective label) pairs feeding the group-centrality table.
+GREEDY_BENCHES = (
+    ("fig7_group_closeness", "GC"),
+    ("fig8_group_harmonic", "GH"),
+)
+
+
+def render_greedy(entries) -> str:
+    """Eager vs lazy group-centrality table from the fig7/fig8 entries.
+
+    Each lazy rider entry carries its eager twin's wall time and
+    evaluation count in ``extra`` (written by
+    ``benchmarks/_greedy_bench.py``), so one entry per row suffices.
+    Returns ``""`` when no lazy entries have been recorded yet.
+    """
+    rows = []
+    for bench, objective in GREEDY_BENCHES:
+        for e in entries:
+            extra = e.get("extra", {})
+            if e["bench"] != bench or "speedup_vs_eager" not in extra:
+                continue
+            k = e["algorithm"].rsplit("k=", 1)[-1].rstrip(")")
+            rows.append(
+                (
+                    e["instance"],
+                    objective,
+                    int(k),
+                    extra["eager_wall_s"],
+                    e["wall_s"],
+                    extra["speedup_vs_eager"],
+                    extra["eager_evaluations"],
+                    extra["evaluations"],
+                )
+            )
+    if not rows:
+        return ""
+    rows.sort()
+    lines = [
+        "| dataset | objective | k | eager (s) | lazy (s) | speedup "
+        "| eager evals | lazy evals |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for inst, obj, k, eager_s, lazy_s, ratio, eager_ev, lazy_ev in rows:
+        lines.append(
+            f"| {inst} | {obj} | {k} | {eager_s:.3f} | {lazy_s:.3f} "
+            f"| {ratio:.2f}x | {eager_ev} | {lazy_ev} |"
+        )
+    return "\n".join(lines)
+
+
 def main() -> int:
     path = os.path.join(REPO_ROOT, BENCH_FILENAME)
     entries = load_bench_json(path)
@@ -58,6 +110,10 @@ def main() -> int:
         )
         return 1
     print(render(entries))
+    greedy = render_greedy(entries)
+    if greedy:
+        print()
+        print(greedy)
     return 0
 
 

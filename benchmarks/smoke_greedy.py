@@ -1,0 +1,132 @@
+"""CI smoke check for the lazy (CELF) group-centrality engine.
+
+Plain script (no pytest) so CI can run it in seconds on tiny registry
+instances: runs BaseGC/NeiSkyGC and BaseGH under the eager reference
+driver, the lazy engine, and the lazy engine with a forced round-0
+worker pool, asserts every result bit-for-bit identical (group, gains,
+pool size), checks the counter invariant ``lazy.evaluations +
+lazy.evaluations_saved == eager.evaluations``, and records the wall
+times into ``BENCH_skyline.json`` at the repo root (merge-write:
+entries from full benchmark runs are preserved).
+
+Exit status is non-zero on any mismatch, so the CI step fails loudly.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_greedy.py [dataset ...]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.centrality import base_gc, base_gh, neisky_gc
+from repro.harness.benchjson import (
+    BENCH_FILENAME,
+    bench_entry,
+    write_bench_json,
+)
+from repro.workloads import load
+
+DEFAULT_INSTANCES = ("karate", "bombing_proxy")
+SMOKE_K = 6
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _check_pair(name, label, eager, lazy):
+    assert lazy.group == eager.group, (name, label)
+    assert lazy.gains == eager.gains, (name, label)
+    assert lazy.pool_size == eager.pool_size, (name, label)
+    assert (
+        lazy.evaluations + lazy.evaluations_saved == eager.evaluations
+    ), (name, label)
+
+
+def run(instances) -> list[dict]:
+    entries = []
+    for name in instances:
+        graph = load(name)
+        saved_note = ""
+        for label, runner in (
+            ("BaseGC", base_gc),
+            ("NeiSkyGC", neisky_gc),
+            ("BaseGH", base_gh),
+        ):
+            t_eager, eager = _timed(lambda r=runner: r(graph, SMOKE_K))
+            t_lazy, lazy = _timed(
+                lambda r=runner: r(graph, SMOKE_K, strategy="lazy")
+            )
+            _check_pair(name, label, eager, lazy)
+            entries.append(
+                bench_entry(
+                    bench="smoke_greedy",
+                    instance=name,
+                    algorithm=f"{label}-eager(k={SMOKE_K})",
+                    wall_s=t_eager,
+                    extra={"evaluations": eager.evaluations},
+                )
+            )
+            entries.append(
+                bench_entry(
+                    bench="smoke_greedy",
+                    instance=name,
+                    algorithm=f"{label}-lazy(k={SMOKE_K})",
+                    wall_s=t_lazy,
+                    extra={
+                        "evaluations": lazy.evaluations,
+                        "evaluations_saved": lazy.evaluations_saved,
+                    },
+                )
+            )
+            if label == "BaseGC":
+                saved_note = (
+                    f"lazy saved {lazy.evaluations_saved} of "
+                    f"{eager.evaluations} BaseGC evaluations"
+                )
+
+        # Forced round-0 pool (the graphs are below the edge threshold,
+        # so force it) — any worker count must be a pure no-op on the
+        # result and on the counters.
+        from repro.centrality.group_closeness_max import ClosenessObjective
+        from repro.centrality.lazy_greedy import lazy_greedy_maximize
+
+        seq = lazy_greedy_maximize(graph, SMOKE_K, ClosenessObjective(graph))
+        par = lazy_greedy_maximize(
+            graph,
+            SMOKE_K,
+            ClosenessObjective(graph),
+            workers=2,
+            small_graph_edges=0,
+        )
+        assert par.group == seq.group, name
+        assert par.gains == seq.gains, name
+        assert par.evaluations == seq.evaluations, name
+        assert par.evaluations_saved == seq.evaluations_saved, name
+
+        print(
+            f"{name}: k={SMOKE_K} eager/lazy/pooled groups identical; "
+            + saved_note
+        )
+    return entries
+
+
+def main(argv) -> int:
+    instances = tuple(argv) or DEFAULT_INSTANCES
+    entries = run(instances)
+    path = os.path.join(REPO_ROOT, BENCH_FILENAME)
+    write_bench_json(path, entries)
+    print(f"merged {len(entries)} entries into {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -6,6 +6,9 @@
 * Greedy maximizers: ``base_gc``/``neisky_gc``, ``base_gh``/``neisky_gh``
   and ``base_gb``/``neisky_gb`` — the Base*/NeiSky* pairs differ only in
   the candidate pool, so timing comparisons isolate the skyline pruning.
+  Each accepts ``strategy="lazy"`` for the CELF engine
+  (:mod:`repro.centrality.lazy_greedy`): identical output, far fewer
+  gain evaluations, optional parallel round 0.
 """
 
 from repro.centrality.betweenness import betweenness_centrality, sp_counts_from
@@ -28,6 +31,7 @@ from repro.centrality.group_closeness_max import (
 )
 from repro.centrality.group_harmonic_max import HarmonicObjective, base_gh, neisky_gh
 from repro.centrality.harmonic import group_harmonic, harmonic_centrality
+from repro.centrality.lazy_greedy import lazy_greedy_maximize, run_greedy
 
 __all__ = [
     "betweenness_centrality",
@@ -38,6 +42,8 @@ __all__ = [
     "GainObjective",
     "GreedyResult",
     "greedy_maximize",
+    "lazy_greedy_maximize",
+    "run_greedy",
     "GroupBetweennessResult",
     "base_gb",
     "group_betweenness",

@@ -56,6 +56,11 @@ class GreedyResult:
     objective's own units); ``evaluations`` counts marginal-gain
     computations — the work measure the paper's Example 2 compares;
     ``pool_size`` is the candidate-pool cardinality the run started from.
+
+    ``evaluations_saved`` is how many evaluations the run avoided
+    relative to the eager schedule over the same pool (always 0 for the
+    eager driver itself); ``strategy`` records which driver produced the
+    result (``"eager"`` or ``"lazy"``).
     """
 
     group: tuple[int, ...]
@@ -63,6 +68,8 @@ class GreedyResult:
     evaluations: int
     pool_size: int
     objective: str
+    evaluations_saved: int = 0
+    strategy: str = "eager"
 
     @property
     def total_gain(self) -> float:
@@ -126,18 +133,22 @@ def greedy_maximize(
                 break
         best_u = -1
         best_gain = float("-inf")
+        best_updates: list[tuple[int, int]] = []
         for u in active:
             evaluations += 1
             gain = 0.0
-            for _v, old, new in improvements(graph, u, dist):
+            updates: list[tuple[int, int]] = []
+            append = updates.append
+            for v, old, new in improvements(graph, u, dist):
                 gain += weight(old, new)
+                append((v, new))
             if gain > best_gain:
                 best_gain = gain
                 best_u = u
-        # Commit: materialize the winner's improvements, then apply them
-        # (the generator must not observe its own writes).
-        updates = list(improvements(graph, best_u, dist))
-        for v, _old, new in updates:
+                best_updates = updates
+        # Commit: apply the winner's improvements, cached during the
+        # scan — re-running its BFS here would be pure duplicate work.
+        for v, new in best_updates:
             dist[v] = new
         in_group[best_u] = 1
         group.append(best_u)

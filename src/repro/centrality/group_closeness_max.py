@@ -13,13 +13,18 @@ Gains are measured in **farness units**: adding ``u`` changes farness by
 appearing naturally as the ``new = 0`` improvement.  Maximizing the
 farness drop per round is identical to maximizing
 ``GC(S ∪ {u}) = n / F(S ∪ {u})``.
+
+Both entry points accept ``strategy="lazy"`` to run the CELF engine of
+:mod:`repro.centrality.lazy_greedy` (identical output, far fewer gain
+evaluations) and, with it, ``workers`` for the parallel round 0.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.centrality.greedy import GreedyResult, greedy_maximize
+from repro.centrality.greedy import GreedyResult
+from repro.centrality.lazy_greedy import run_greedy
 from repro.core.filter_refine import filter_refine_sky
 from repro.graph.adjacency import Graph
 
@@ -34,22 +39,38 @@ class ClosenessObjective:
     """
 
     name = "group_closeness"
+    #: Specialized CSR gain kernel (see :func:`repro.paths.csr.make_evaluator`).
+    csr_kernel = "closeness"
 
     def __init__(self, graph: Graph):
-        self._penalty = graph.num_vertices
+        self.penalty = graph.num_vertices
 
     def gain_weight(self, old: int, new: int) -> float:
         """Farness drop contributed by one improved vertex."""
-        old_value = self._penalty if old == -1 else old
+        old_value = self.penalty if old == -1 else old
         return float(old_value - new)
 
 
-def base_gc(graph: Graph, k: int) -> GreedyResult:
+def base_gc(
+    graph: Graph,
+    k: int,
+    *,
+    strategy: str = "eager",
+    workers: int = 1,
+) -> GreedyResult:
     """Greedy group-closeness over the full vertex set (``BaseGC``).
 
-    Performs ``k(2n − k + 1)/2`` marginal-gain evaluations.
+    The eager strategy performs ``k(2n − k + 1)/2`` marginal-gain
+    evaluations; ``strategy="lazy"`` returns the identical result with
+    (typically far) fewer.
     """
-    return greedy_maximize(graph, k, ClosenessObjective(graph))
+    return run_greedy(
+        graph,
+        k,
+        ClosenessObjective(graph),
+        strategy=strategy,
+        workers=workers,
+    )
 
 
 def neisky_gc(
@@ -57,15 +78,23 @@ def neisky_gc(
     k: int,
     *,
     skyline: Optional[tuple[int, ...]] = None,
+    strategy: str = "eager",
+    workers: int = 1,
 ) -> GreedyResult:
     """Algorithm 4 (``NeiSkyGC``): greedy restricted to the skyline.
 
     ``skyline`` may be passed in when already computed (benchmarks reuse
     one skyline across many ``k``); otherwise FilterRefineSky runs first.
-    Performs ``k(2r − k + 1)/2`` evaluations for ``r = |R|``.
+    The eager strategy performs ``k(2r − k + 1)/2`` evaluations for
+    ``r = |R|``.
     """
     if skyline is None:
         skyline = filter_refine_sky(graph).skyline
-    return greedy_maximize(
-        graph, k, ClosenessObjective(graph), candidates=skyline
+    return run_greedy(
+        graph,
+        k,
+        ClosenessObjective(graph),
+        candidates=skyline,
+        strategy=strategy,
+        workers=workers,
     )

@@ -11,13 +11,18 @@ special case.
 
 Skyline pruning is justified by Lemma 4 (``v ≤ u`` implies
 ``GH(S∪{u}) ≥ GH(S∪{v})``).
+
+Both entry points accept ``strategy="lazy"`` to run the CELF engine of
+:mod:`repro.centrality.lazy_greedy` (identical output, far fewer gain
+evaluations) and, with it, ``workers`` for the parallel round 0.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.centrality.greedy import GreedyResult, greedy_maximize
+from repro.centrality.greedy import GreedyResult
+from repro.centrality.lazy_greedy import run_greedy
 from repro.core.filter_refine import filter_refine_sky
 from repro.graph.adjacency import Graph
 
@@ -28,6 +33,8 @@ class HarmonicObjective:
     """Harmonic-sum gain weights for group harmonic."""
 
     name = "group_harmonic"
+    #: Specialized CSR gain kernel (see :func:`repro.paths.csr.make_evaluator`).
+    csr_kernel = "harmonic"
 
     def gain_weight(self, old: int, new: int) -> float:
         """Harmonic-sum delta contributed by one improved vertex."""
@@ -38,9 +45,21 @@ class HarmonicObjective:
         return 1.0 / new - old_term
 
 
-def base_gh(graph: Graph, k: int) -> GreedyResult:
+def base_gh(
+    graph: Graph,
+    k: int,
+    *,
+    strategy: str = "eager",
+    workers: int = 1,
+) -> GreedyResult:
     """Greedy group-harmonic over the full vertex set (``BaseGH``)."""
-    return greedy_maximize(graph, k, HarmonicObjective())
+    return run_greedy(
+        graph,
+        k,
+        HarmonicObjective(),
+        strategy=strategy,
+        workers=workers,
+    )
 
 
 def neisky_gh(
@@ -48,10 +67,17 @@ def neisky_gh(
     k: int,
     *,
     skyline: Optional[tuple[int, ...]] = None,
+    strategy: str = "eager",
+    workers: int = 1,
 ) -> GreedyResult:
     """``NeiSkyGH``: greedy group-harmonic restricted to the skyline."""
     if skyline is None:
         skyline = filter_refine_sky(graph).skyline
-    return greedy_maximize(
-        graph, k, HarmonicObjective(), candidates=skyline
+    return run_greedy(
+        graph,
+        k,
+        HarmonicObjective(),
+        candidates=skyline,
+        strategy=strategy,
+        workers=workers,
     )

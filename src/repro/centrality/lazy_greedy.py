@@ -1,0 +1,265 @@
+"""Lazy-greedy (CELF) driver for group-centrality maximization.
+
+Same contract as :func:`repro.centrality.greedy.greedy_maximize` — same
+group, same gains, same tie-breaks, bit for bit — with three stacked
+optimizations:
+
+1. **Lazy evaluation.**  Marginal gains along the greedy chain are
+   non-increasing for both bundled objectives (see
+   ``docs/algorithms.md``), so a gain computed in an earlier round is an
+   *upper bound* on the candidate's current gain.  The driver keeps a
+   max-heap of ``(-gain, vertex, round_tag)`` entries; each round it
+   pops the top, re-evaluates it if the tag is stale, pushes it back,
+   and stops as soon as the top entry is fresh — every candidate left in
+   the heap is bounded above by the winner's exact gain, so it cannot
+   win, and most are never re-evaluated at all.  Tie-breaks survive
+   because the heap orders equal gains by ascending vertex ID, which is
+   exactly the eager scan's first-strict-maximum rule.
+
+2. **CSR kernels.**  Evaluations run on a
+   :class:`~repro.paths.csr.CSRTraversal` — flat-array truncated BFS
+   with preallocated scratch reused across the whole run — instead of
+   the per-call generator machinery of :mod:`repro.paths.truncated`.
+
+3. **Parallel round 0.**  With an empty group every candidate costs a
+   full BFS, which is the bulk of a run's work and embarrassingly
+   parallel; ``workers > 1`` fans the first round over a process pool in
+   chunks (one CSR snapshot shipped per worker, gains returned as flat
+   arrays), then rounds ``1..k`` run lazily in-process.  Workers run the
+   same kernels on the same snapshot, so the gains — and therefore the
+   result — are bitwise independent of worker count and chunking.
+
+``evaluations`` counts gain evaluations actually performed;
+``evaluations_saved`` is the eager schedule's count over the same pool
+minus that, so ``evaluations + evaluations_saved`` always equals the
+eager driver's ``evaluations`` for the same inputs.  (The one uncounted
+traversal: after a pooled round 0 the winner's update list is re-derived
+in-process — eager already charged that candidate's evaluation, and the
+recomputation is one BFS against the whole round's fan-out.)
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Optional
+
+from repro.centrality.greedy import GainObjective, GreedyResult, greedy_maximize
+from repro.errors import ParameterError
+from repro.graph.adjacency import Graph
+from repro.parallel.engine import SMALL_GRAPH_EDGES
+from repro.paths.csr import CSRTraversal, make_evaluator
+
+__all__ = ["lazy_greedy_maximize", "run_greedy"]
+
+
+def _pooled_round0(
+    graph: Graph,
+    objective: GainObjective,
+    scope: list[int],
+    workers: int,
+    chunk_size: Optional[int],
+) -> list[float]:
+    """Round-0 gains of ``scope``, fanned over a worker pool."""
+    from repro.parallel.chunks import chunk_ranges, default_chunk_size
+    from repro.parallel.greedy_worker import (
+        build_greedy_payload,
+        init_greedy_worker,
+        pool_context,
+        run_gain_chunk,
+    )
+
+    payload = build_greedy_payload(graph, objective, scope)
+    size = chunk_size or default_chunk_size(len(scope), workers)
+    tasks = chunk_ranges(len(scope), size)
+    pool = pool_context().Pool(
+        processes=workers,
+        initializer=init_greedy_worker,
+        initargs=(payload,),
+    )
+    try:
+        parts = pool.map(run_gain_chunk, tasks)
+    finally:
+        pool.close()
+        pool.join()
+    gains: list[float] = []
+    for part in parts:
+        gains.extend(part)
+    return gains
+
+
+def lazy_greedy_maximize(
+    graph: Graph,
+    k: int,
+    objective: GainObjective,
+    *,
+    candidates: Optional[Iterable[int]] = None,
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+    small_graph_edges: int = SMALL_GRAPH_EDGES,
+) -> GreedyResult:
+    """CELF-style greedy maximization; output equals ``greedy_maximize``.
+
+    Parameters beyond the eager driver's:
+
+    workers:
+        Worker processes for the round-0 fan-out; ``1`` (the default)
+        stays in-process.  Any value yields the identical result.
+    chunk_size:
+        Candidates per round-0 task; ``None`` targets a few chunks per
+        worker.  Purely a scheduling knob.
+    small_graph_edges:
+        In-process threshold: graphs with fewer edges never pay for a
+        pool.  Pass ``0`` to force pooling (tests do).
+    """
+    if k < 0:
+        raise ParameterError(f"group size k must be >= 0, got {k}")
+    if workers < 1:
+        raise ParameterError(
+            f"workers must be a positive integer, got {workers}"
+        )
+    if chunk_size is not None and chunk_size < 1:
+        raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+    n = graph.num_vertices
+    k = min(k, n)
+    if candidates is None:
+        pool = list(range(n))
+    else:
+        pool = sorted(set(candidates))
+        for u in pool:
+            if not (0 <= u < n):
+                raise ParameterError(f"candidate {u} out of range")
+
+    in_group = bytearray(n)
+    dist = [-1] * n  # d(v, S); -1 = infinity while S is empty
+    group: list[int] = []
+    gains: list[float] = []
+    evaluations = 0
+    eager_evaluations = 0  # what the eager schedule would have spent
+    trav = CSRTraversal.from_graph(graph)
+    evaluate = make_evaluator(trav, objective)
+    #: CELF heap of (-cached_gain, vertex, round_tag); each not-yet-
+    #: chosen candidate appears exactly once.  A tag older than the
+    #: current round marks the cached gain as a stale upper bound.
+    heap: list[tuple[float, int, int]] = []
+
+    for round_no in range(k):
+        best_updates: Optional[list[tuple[int, int]]] = None
+        if not heap:
+            # (Re)build: first round, or the pool ran dry last round —
+            # mirror the eager driver's fallback to all of V \ S.
+            scope = [u for u in pool if not in_group[u]]
+            if not scope:
+                scope = [u for u in range(n) if not in_group[u]]
+                if not scope:
+                    break
+            eager_evaluations += len(scope)
+            evaluations += len(scope)
+            use_pool = (
+                round_no == 0
+                and workers > 1
+                and len(scope) > 1
+                and graph.num_edges >= small_graph_edges
+            )
+            if use_pool:
+                gain_vec = _pooled_round0(
+                    graph, objective, scope, workers, chunk_size
+                )
+                # max() keeps the first maximum: smallest-ID tie-break.
+                best_idx = max(
+                    range(len(scope)), key=gain_vec.__getitem__
+                )
+                entries = list(zip(scope, gain_vec))
+            else:
+                best_idx = -1
+                best_gain = float("-inf")
+                entries = []
+                for u in scope:
+                    gain, updates = evaluate(u, dist, True)
+                    if gain > best_gain:
+                        best_gain = gain
+                        best_idx = len(entries)
+                        best_updates = updates
+                    entries.append((u, gain))
+            best_u, best_gain = entries[best_idx]
+            heap = [
+                (-gain, u, round_no)
+                for i, (u, gain) in enumerate(entries)
+                if i != best_idx
+            ]
+            heapq.heapify(heap)
+        else:
+            # CELF: pop/re-evaluate/re-push until the top is fresh.
+            eager_evaluations += len(heap)
+            round_updates: dict[int, list[tuple[int, int]]] = {}
+            while True:
+                neg_gain, u, tag = heapq.heappop(heap)
+                if tag == round_no:
+                    best_u = u
+                    best_gain = -neg_gain
+                    best_updates = round_updates[u]
+                    break
+                gain, updates = evaluate(u, dist, True)
+                evaluations += 1
+                round_updates[u] = updates
+                heapq.heappush(heap, (-gain, u, round_no))
+
+        if best_updates is None:
+            # Pooled round 0 ships gains only; re-derive the winner's
+            # update list (uncounted: this candidate's evaluation was
+            # already charged above).
+            _gain, best_updates = evaluate(best_u, dist, True)
+        for v, new in best_updates:
+            dist[v] = new
+        in_group[best_u] = 1
+        group.append(best_u)
+        gains.append(best_gain)
+
+    return GreedyResult(
+        group=tuple(group),
+        gains=tuple(gains),
+        evaluations=evaluations,
+        pool_size=len(pool),
+        objective=objective.name,
+        evaluations_saved=eager_evaluations - evaluations,
+        strategy="lazy",
+    )
+
+
+def run_greedy(
+    graph: Graph,
+    k: int,
+    objective: GainObjective,
+    *,
+    candidates: Optional[Iterable[int]] = None,
+    strategy: str = "eager",
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+    small_graph_edges: int = SMALL_GRAPH_EDGES,
+) -> GreedyResult:
+    """Strategy dispatcher shared by the Base*/NeiSky* entry points.
+
+    ``strategy="eager"`` runs the reference driver; ``"lazy"`` runs the
+    CELF engine (identical output).  ``workers`` applies only to the
+    lazy strategy's round-0 fan-out — combining it with eager is
+    rejected rather than silently ignored.
+    """
+    if strategy == "eager":
+        if workers != 1:
+            raise ParameterError(
+                "workers apply to the lazy strategy; eager greedy is "
+                "sequential by definition"
+            )
+        return greedy_maximize(graph, k, objective, candidates=candidates)
+    if strategy != "lazy":
+        raise ParameterError(
+            f"unknown greedy strategy {strategy!r}; choose 'eager' or 'lazy'"
+        )
+    return lazy_greedy_maximize(
+        graph,
+        k,
+        objective,
+        candidates=candidates,
+        workers=workers,
+        chunk_size=chunk_size,
+        small_graph_edges=small_graph_edges,
+    )

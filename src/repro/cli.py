@@ -155,22 +155,41 @@ def _cmd_skyline(args: argparse.Namespace) -> int:
 
 def _cmd_group(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    precomputed = _parallel_skyline(graph, args)
+    workers = _validated_workers(args)
+    lazy = args.strategy == "lazy"
+    # --workers accelerates the skyline precompute (parallel refine
+    # engine) and, under --strategy lazy, the first greedy round too.
+    precomputed: Optional[SkylineResult] = None
+    if workers > 1:
+        if not args.no_skyline:
+            precomputed = parallel_refine_sky(graph, workers=workers)
+        elif not lazy:
+            raise ParameterError(
+                "--workers accelerates the skyline computation and the "
+                "lazy strategy's first greedy round; with --no-skyline "
+                "it requires --strategy lazy"
+            )
     if args.measure == "closeness":
         run = base_gc if args.no_skyline else neisky_gc
     else:
         run = base_gh if args.no_skyline else neisky_gh
+    options = {
+        "strategy": args.strategy,
+        "workers": workers if lazy else 1,
+    }
+    if precomputed is not None:
+        options["skyline"] = precomputed.skyline
     start = time.perf_counter()
-    if precomputed is None:
-        result = run(graph, args.k)
-    else:
-        result = run(graph, args.k, skyline=precomputed.skyline)
+    result = run(graph, args.k, **options)
     elapsed = time.perf_counter() - start
     label = "Base" if args.no_skyline else "NeiSky"
+    saved = (
+        f", {result.evaluations_saved} saved by laziness" if lazy else ""
+    )
     print(
         f"{label} group-{args.measure} k={args.k}: group = "
         f"{list(result.group)} ({elapsed:.3f}s, "
-        f"{result.evaluations} gain evaluations)"
+        f"{result.evaluations} gain evaluations{saved})"
     )
     return 0
 
@@ -285,6 +304,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-skyline",
         action="store_true",
         help="disable skyline pruning (Base* variant)",
+    )
+    p_grp.add_argument(
+        "--strategy",
+        default="eager",
+        choices=("eager", "lazy"),
+        help=(
+            "greedy schedule: eager re-evaluates every candidate each "
+            "round; lazy (CELF) returns the identical group with far "
+            "fewer gain evaluations"
+        ),
     )
     _add_workers_argument(p_grp)
 

@@ -8,6 +8,7 @@ benchmarks and tests that compare them directly.
 from repro.core.approx import approx_skyline, epsilon_dominates
 from repro.core.api import (
     ALGORITHMS,
+    group_centrality_maximize,
     neighborhood_candidates,
     neighborhood_skyline,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "ALGORITHMS",
     "approx_skyline",
     "epsilon_dominates",
+    "group_centrality_maximize",
     "neighborhood_candidates",
     "neighborhood_skyline",
     "base_sky",

@@ -21,16 +21,34 @@ from repro.core.result import SkylineResult
 from repro.core.two_hop import base_two_hop_sky
 from repro.errors import ParameterError
 from repro.graph.adjacency import Graph
-from repro.parallel.engine import parallel_refine_sky
 
-__all__ = ["neighborhood_skyline", "neighborhood_candidates", "ALGORITHMS"]
+__all__ = [
+    "neighborhood_skyline",
+    "neighborhood_candidates",
+    "group_centrality_maximize",
+    "ALGORITHMS",
+]
+
+
+def _parallel_refine_sky(graph: Graph, **options) -> SkylineResult:
+    """Deferred dispatch to :func:`repro.parallel.engine.parallel_refine_sky`.
+
+    The engine module imports :mod:`repro.core` internals, so a
+    module-level import here would close an import cycle that breaks
+    whichever package loads second; binding at call time keeps every
+    import order valid.
+    """
+    from repro.parallel.engine import parallel_refine_sky
+
+    return parallel_refine_sky(graph, **options)
+
 
 #: Name → implementation for every skyline algorithm in the paper's Exp-1,
 #: plus the naive reference and the multi-worker refine engine.
 ALGORITHMS: dict[str, Callable[..., SkylineResult]] = {
     "filter_refine": filter_refine_sky,
     "filter_refine_bitset": filter_refine_bitset_sky,
-    "filter_refine_parallel": parallel_refine_sky,
+    "filter_refine_parallel": _parallel_refine_sky,
     "base": base_sky,
     "two_hop": base_two_hop_sky,
     "cset": base_cset_sky,
@@ -90,3 +108,57 @@ def neighborhood_candidates(
     """The candidate set ``C`` of the filter phase alone (Lemma 1 superset)."""
     candidates, _dominator = filter_phase(graph, counters=counters)
     return tuple(candidates)
+
+
+def group_centrality_maximize(
+    graph: Graph,
+    k: int,
+    *,
+    measure: str = "closeness",
+    use_skyline: bool = True,
+    skyline: Optional[tuple[int, ...]] = None,
+    strategy: str = "eager",
+    workers: int = 1,
+):
+    """One-call dispatcher for the Sec. IV group-centrality applications.
+
+    Parameters
+    ----------
+    graph:
+        The input graph.
+    k:
+        Desired group size.
+    measure:
+        ``"closeness"`` (Def. 7) or ``"harmonic"`` (Def. 9).
+    use_skyline:
+        ``True`` runs the NeiSky* variant (candidate pool restricted to
+        the neighborhood skyline), ``False`` the Base* variant.
+    skyline:
+        Precomputed skyline to reuse when ``use_skyline`` (``None``
+        computes it with FilterRefineSky).
+    strategy / workers:
+        Greedy schedule: ``"eager"`` is the reference driver,
+        ``"lazy"`` the CELF engine of
+        :mod:`repro.centrality.lazy_greedy` — identical output, fewer
+        evaluations — with ``workers`` fanning its first round over a
+        process pool.
+
+    Returns a :class:`~repro.centrality.greedy.GreedyResult`.  Imported
+    lazily: :mod:`repro.centrality` itself imports core modules.
+    """
+    from repro.centrality import base_gc, base_gh, neisky_gc, neisky_gh
+
+    if measure == "closeness":
+        base_run, sky_run = base_gc, neisky_gc
+    elif measure == "harmonic":
+        base_run, sky_run = base_gh, neisky_gh
+    else:
+        raise ParameterError(
+            f"unknown group measure {measure!r}; choose 'closeness' or "
+            "'harmonic'"
+        )
+    if not use_skyline:
+        return base_run(graph, k, strategy=strategy, workers=workers)
+    return sky_run(
+        graph, k, skyline=skyline, strategy=strategy, workers=workers
+    )

@@ -64,6 +64,19 @@ sparse graphs never pay the packing cost.  The default budget of 2²⁴
 words (128 MiB) admits every registry instance and cuts over around
 web-scale inputs (e.g. ``|C| = 200k`` on ``n = 2.4M`` needs ~7.5G
 words).
+
+A second, *shape* cutover handles the opposite corner: candidate-dense
+inputs.  The kernel's advantage is proportional to the non-candidate
+fraction it skips wholesale, and on ``dblp_sim`` (~48 % candidates)
+the measured refine speedup inverts to 0.85× — packing and group
+setup outweigh the cheaper pair tests.  :func:`density_prefers_bloom`
+routes such inputs to the bloom pass automatically: candidate sets of
+at least :data:`DENSITY_FALLBACK_MIN_CANDIDATES` vertices whose
+density ``|C|/n`` exceeds :data:`DENSITY_FALLBACK_THRESHOLD` fall
+back, with the reason and the offending density recorded in
+``counters.extra``.  The size floor keeps small dense graphs (karate:
+18 candidates at density 0.53) on the bitset path, where packing is
+negligible and the exact word test still wins.
 """
 
 from __future__ import annotations
@@ -83,12 +96,42 @@ from repro.graph.bitmatrix import HAVE_NUMPY, CandidateBitMatrix, matrix_words
 __all__ = [
     "BitsetScanContext",
     "DEFAULT_WORD_BUDGET",
+    "DENSITY_FALLBACK_MIN_CANDIDATES",
+    "DENSITY_FALLBACK_THRESHOLD",
     "bitset_refine_pass",
+    "density_prefers_bloom",
     "filter_refine_bitset_sky",
 ]
 
 #: Default cutover budget: 2²⁴ uint64 words = 128 MiB of packed rows.
 DEFAULT_WORD_BUDGET = 1 << 24
+
+#: Candidate-density fallback threshold: above this candidate fraction
+#: the prefiltering no longer thins the 2-hop lists enough for packing
+#: + group setup to pay for themselves (the measured ``dblp_sim``
+#: regression sits near 0.48; the best bitset win, ``wikitalk_sim``, at
+#: 0.05; the calibration margin below the regressor cluster is ~0.44).
+DENSITY_FALLBACK_THRESHOLD = 0.35
+
+#: Density alone means nothing on tiny candidate sets — packing a few
+#: hundred rows is microseconds, and small dense graphs (karate packs
+#: 18 rows at density 0.53) still win on the cheaper pair test.  The
+#: heuristic only applies at or above this candidate count.
+DENSITY_FALLBACK_MIN_CANDIDATES = 512
+
+
+def density_prefers_bloom(num_candidates: int, num_vertices: int) -> bool:
+    """Whether the candidate-density heuristic routes refine to bloom.
+
+    ``True`` when the candidate set is both large enough for packing
+    cost to matter (``DENSITY_FALLBACK_MIN_CANDIDATES``) and dense
+    enough relative to ``num_vertices``
+    (``DENSITY_FALLBACK_THRESHOLD``) that the bitset kernel's measured
+    advantage inverts — see the module docstring's cutover section.
+    """
+    if num_candidates < DENSITY_FALLBACK_MIN_CANDIDATES:
+        return False
+    return num_candidates > DENSITY_FALLBACK_THRESHOLD * num_vertices
 
 
 class BitsetScanContext:
@@ -301,6 +344,7 @@ def filter_refine_bitset_sky(
     bits_per_element: int = 8,
     seed: int = 0,
     counters: Optional[SkylineCounters] = None,
+    density_fallback: bool = True,
 ) -> SkylineResult:
     """Compute the neighborhood skyline with the packed-bitset refine.
 
@@ -312,14 +356,23 @@ def filter_refine_bitset_sky(
         Dense/sparse cutover: when ``|C| · ⌈n/64⌉`` exceeds this many
         ``uint64`` words, refine falls back to the bloom path instead
         of packing (``None`` → :data:`DEFAULT_WORD_BUDGET`; ``0``
-        forces the fallback on any non-empty candidate set).
+        forces the fallback on any non-empty candidate set).  Within
+        budget, large candidate-dense sets fall back too — see
+        :func:`density_prefers_bloom`.
     bloom_bits / bits_per_element / seed:
         Bloom sizing for the fallback path only; ignored when the
         bitset kernel runs.
     counters:
         Optional instrumentation sink.  ``counters.extra["refine_path"]``
         records which side of the cutover ran; on the bitset side
-        ``counters.extra["bitset_words"]`` records the packed size.
+        ``counters.extra["bitset_words"]`` records the packed size, on
+        a fallback ``"bitset_fallback_reason"`` records which cutover
+        fired (``"word-budget"`` or ``"candidate-density"``, the
+        latter with ``"candidate_density"`` holding ``|C|/n``).
+    density_fallback:
+        ``False`` disables the candidate-density cutover (the word
+        budget still applies) — for benchmarks that measure the
+        packed kernel on inputs the heuristic would route away.
 
     The result is always exact and bit-for-bit equal to
     :func:`~repro.core.filter_refine.filter_refine_sky` (there is no
@@ -336,7 +389,12 @@ def filter_refine_bitset_sky(
     candidates, dominator = filter_phase(graph, counters=counters)
 
     words_needed = matrix_words(len(candidates), n)
-    use_bitset = HAVE_NUMPY and words_needed <= word_budget
+    fallback_reason = None
+    if not HAVE_NUMPY or words_needed > word_budget:
+        fallback_reason = "word-budget"
+    elif density_fallback and density_prefers_bloom(len(candidates), n):
+        fallback_reason = "candidate-density"
+    use_bitset = fallback_reason is None
 
     if use_bitset:
         matrix = CandidateBitMatrix.from_graph(graph, candidates)
@@ -360,7 +418,13 @@ def filter_refine_bitset_sky(
         algorithm = "FilterRefineSkyBitset(bloom-fallback)"
         if counters is not None:
             counters.extra["refine_path"] = "bloom-fallback"
-            counters.extra["bitset_words_over_budget"] = words_needed
+            counters.extra["bitset_fallback_reason"] = fallback_reason
+            if fallback_reason == "word-budget":
+                counters.extra["bitset_words_over_budget"] = words_needed
+            else:
+                counters.extra["candidate_density"] = (
+                    len(candidates) / n if n else 0.0
+                )
 
     skyline = tuple(u for u in range(n) if dominator[u] == u)
     return SkylineResult(

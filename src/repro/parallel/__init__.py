@@ -1,9 +1,12 @@
-"""Parallel execution engine for the filter–refine skyline.
+"""Parallel execution engines.
 
-:func:`~repro.parallel.engine.parallel_refine_sky` is the entry point;
-it is also registered as ``algorithm="filter_refine_parallel"`` with
+:func:`~repro.parallel.engine.parallel_refine_sky` parallelizes the
+skyline refine phase; it is registered as
+``algorithm="filter_refine_parallel"`` with
 :func:`repro.core.api.neighborhood_skyline` and behind the CLI's
-``--workers`` flag.
+``--workers`` flag.  :mod:`repro.parallel.greedy_worker` is the worker
+side of the lazy greedy engine's round-0 fan-out
+(:func:`repro.centrality.lazy_greedy.lazy_greedy_maximize`).
 """
 
 from repro.parallel.chunks import chunk_ranges, default_chunk_size
@@ -12,6 +15,11 @@ from repro.parallel.engine import (
     default_worker_count,
     parallel_refine_sky,
 )
+from repro.parallel.greedy_worker import (
+    build_greedy_payload,
+    init_greedy_worker,
+    run_gain_chunk,
+)
 
 __all__ = [
     "SMALL_GRAPH_EDGES",
@@ -19,4 +27,7 @@ __all__ = [
     "default_chunk_size",
     "default_worker_count",
     "parallel_refine_sky",
+    "build_greedy_payload",
+    "init_greedy_worker",
+    "run_gain_chunk",
 ]

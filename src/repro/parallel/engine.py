@@ -35,7 +35,7 @@ from array import array
 from typing import Optional
 
 from repro.bloom.vertex_filters import width_for_max_degree
-from repro.core.bitset_refine import DEFAULT_WORD_BUDGET
+from repro.core.bitset_refine import DEFAULT_WORD_BUDGET, density_prefers_bloom
 from repro.core.counters import SkylineCounters
 from repro.core.filter_phase import filter_phase
 from repro.core.result import SkylineResult
@@ -92,6 +92,7 @@ def parallel_refine_sky(
     exact: bool = True,
     refine: str = "bloom",
     word_budget: Optional[int] = None,
+    density_fallback: bool = True,
 ) -> SkylineResult:
     """Compute the neighborhood skyline with a parallel refine phase.
 
@@ -131,7 +132,14 @@ def parallel_refine_sky(
         :func:`~repro.core.bitset_refine.filter_refine_bitset_sky`:
         when ``|C| · ⌈n/64⌉`` words exceed it (or numpy is missing) a
         ``refine="bitset"`` run falls back to the bloom kernel and
-        records ``counters.extra["refine_path"] == "bloom-fallback"``.
+        records ``counters.extra["refine_path"] == "bloom-fallback"``
+        with the reason in ``"bitset_fallback_reason"``.  Candidate-
+        dense inputs fall back too
+        (:func:`~repro.core.bitset_refine.density_prefers_bloom`) —
+        the parent decides, so one run uses one kernel throughout.
+    density_fallback:
+        ``False`` disables the candidate-density cutover only, as in
+        :func:`~repro.core.bitset_refine.filter_refine_bitset_sky`.
 
     The result's ``skyline``/``dominator``/``candidates`` are identical
     to the sequential ``filter_refine_sky`` for any worker count.
@@ -177,10 +185,14 @@ def parallel_refine_sky(
     # never second-guess it — so one run uses one kernel throughout.
     effective_refine = refine
     words_needed = matrix_words(len(candidates), n)
-    if refine == "bitset" and (
-        not HAVE_NUMPY or words_needed > word_budget
-    ):
-        effective_refine = "bloom"
+    bitset_fallback_reason = None
+    if refine == "bitset":
+        if not HAVE_NUMPY or words_needed > word_budget:
+            bitset_fallback_reason = "word-budget"
+        elif density_fallback and density_prefers_bloom(len(candidates), n):
+            bitset_fallback_reason = "candidate-density"
+        if bitset_fallback_reason is not None:
+            effective_refine = "bloom"
     matrix = (
         CandidateBitMatrix.from_graph(graph, candidates)
         if effective_refine == "bitset"
@@ -254,9 +266,15 @@ def parallel_refine_sky(
         counters.extra["parallel_workers"] = workers
         counters.extra["parallel_chunks"] = len(status_tasks)
         counters.extra["parallel_rescans"] = len(dominated)
-        if refine == "bitset" and effective_refine == "bloom":
+        if bitset_fallback_reason is not None:
             counters.extra["refine_path"] = "bloom-fallback"
-            counters.extra["bitset_words_over_budget"] = words_needed
+            counters.extra["bitset_fallback_reason"] = bitset_fallback_reason
+            if bitset_fallback_reason == "word-budget":
+                counters.extra["bitset_words_over_budget"] = words_needed
+            else:
+                counters.extra["candidate_density"] = (
+                    len(candidates) / n if n else 0.0
+                )
         else:
             counters.extra["refine_path"] = effective_refine
 

@@ -1,0 +1,85 @@
+"""Round-0 gain evaluation for the lazy greedy engine.
+
+The first greedy round is the expensive one — with an empty group every
+candidate's truncated BFS degenerates to a full BFS — and it is
+embarrassingly parallel: the gains are pure functions of the graph and
+an all-``-1`` distance vector.  This module is the worker side of that
+fan-out, mirroring :mod:`repro.parallel.worker`'s shape: a pickle-cheap
+payload shipped once per process via the pool initializer, module-level
+state rebuilt from it, and a chunk entry point mapped over index ranges
+of the candidate pool.
+
+Gains come back as ``array('d')`` blobs in pool order.  Workers run the
+same :class:`~repro.paths.csr.CSRTraversal` kernels as the in-process
+engine on the same CSR snapshot, so the floats they return are bitwise
+identical to an in-process round 0 for any worker count or chunking —
+the lazy engine's exactness argument never has to mention the pool.
+
+The objective rides along inside the payload, so it must pickle; the
+bundled objectives (plain module-level classes holding scalars) all do.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from array import array
+from typing import Optional
+
+from repro.paths.csr import CSRTraversal, make_evaluator
+
+__all__ = [
+    "build_greedy_payload",
+    "build_greedy_state",
+    "init_greedy_worker",
+    "pool_context",
+    "run_gain_chunk",
+]
+
+
+def pool_context():
+    """The multiprocessing context for greedy worker pools.
+
+    fork shares the parent's code pages and skips re-imports; spawn is
+    the portable fallback (worker entry points are module-level).
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def build_greedy_payload(graph, objective, pool) -> tuple:
+    """The snapshot shipped to every worker: CSR rows + pool + objective."""
+    indptr, indices = graph.to_csr()
+    return (indptr, array("i", indices), array("q", pool), objective)
+
+
+def build_greedy_state(payload: tuple) -> tuple:
+    """Rebuild the traversal workspace and bound evaluator from a payload."""
+    indptr, indices, pool, objective = payload
+    trav = CSRTraversal(indptr, indices)
+    evaluate = make_evaluator(trav, objective)
+    # Round 0 only: the group is empty, every distance is infinity.
+    current = [-1] * trav.n
+    return (pool, evaluate, current)
+
+
+#: Worker-process state, populated by :func:`init_greedy_worker`.
+_STATE: Optional[tuple] = None
+
+
+def init_greedy_worker(payload: tuple) -> None:
+    """Pool initializer: rebuild the CSR workspace once per process."""
+    global _STATE
+    _STATE = build_greedy_state(payload)
+
+
+def run_gain_chunk(task: tuple, state: Optional[tuple] = None) -> array:
+    """Round-0 gains for pool slice ``(lo, hi)``, as an ``array('d')``."""
+    lo, hi = task
+    if state is None:
+        state = _STATE
+    pool, evaluate, current = state
+    return array(
+        "d", [evaluate(u, current, False)[0] for u in pool[lo:hi]]
+    )

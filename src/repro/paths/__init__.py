@@ -6,6 +6,7 @@ from repro.paths.bfs import (
     eccentricity,
     multi_source_distances,
 )
+from repro.paths.csr import CSRTraversal, make_evaluator
 from repro.paths.distances import distance, set_distance, set_distance_profile
 from repro.paths.labeling import DistanceOracle
 from repro.paths.truncated import gain_sum, improvements
@@ -15,6 +16,8 @@ __all__ = [
     "bfs_distances",
     "eccentricity",
     "multi_source_distances",
+    "CSRTraversal",
+    "make_evaluator",
     "DistanceOracle",
     "distance",
     "set_distance",

@@ -130,3 +130,95 @@ def test_uninstrumented_run_matches_instrumented():
     fast = filter_refine_bitset_sky(g)
     assert fast.skyline == counted.skyline
     assert fast.dominator == counted.dominator
+
+
+class TestDensityHeuristic:
+    """The candidate-density cutover (the dblp_sim-shaped regression)."""
+
+    def test_predicate_thresholds(self):
+        from repro.core import bitset_refine as br
+
+        floor = br.DENSITY_FALLBACK_MIN_CANDIDATES
+        # Below the size floor density never matters.
+        assert not br.density_prefers_bloom(floor - 1, floor - 1)
+        # Above the floor the density threshold decides.
+        assert br.density_prefers_bloom(floor, floor * 2)  # density 0.5
+        assert not br.density_prefers_bloom(floor, floor * 10)  # 0.1
+        # dblp_sim's shape (|C|=2757, n=5800) must trip it ...
+        assert br.density_prefers_bloom(2757, 5800)
+        # ... while wikitalk_sim (|C|=480) and flixster_sim (0.27) must not.
+        assert not br.density_prefers_bloom(480, 9000)
+        assert not br.density_prefers_bloom(1804, 6600)
+
+    def test_karate_stays_bitset_by_size_floor(self):
+        # karate is *denser* than the threshold (18/34 ≈ 0.53) — only
+        # the candidate-count floor keeps it on the packed path.
+        from repro.core import bitset_refine as br
+
+        g = karate_club()
+        candidates, _ = filter_phase(g)
+        assert len(candidates) > br.DENSITY_FALLBACK_THRESHOLD * g.num_vertices
+        counters = SkylineCounters()
+        filter_refine_bitset_sky(g, counters=counters)
+        assert counters.extra["refine_path"] == "bitset"
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="requires numpy")
+    def test_density_fallback_fires_and_matches(self, monkeypatch):
+        from repro.core import bitset_refine as br
+
+        monkeypatch.setattr(br, "DENSITY_FALLBACK_MIN_CANDIDATES", 1)
+        g = karate_club()
+        counters = SkylineCounters()
+        result = filter_refine_bitset_sky(g, counters=counters)
+        ref = filter_refine_sky(g)
+        assert result.dominator == ref.dominator
+        assert result.algorithm == "FilterRefineSkyBitset(bloom-fallback)"
+        assert counters.extra["refine_path"] == "bloom-fallback"
+        assert counters.extra["bitset_fallback_reason"] == "candidate-density"
+        assert counters.extra["candidate_density"] == pytest.approx(18 / 34)
+        # Word-budget bookkeeping belongs to the other fallback reason.
+        assert "bitset_words_over_budget" not in counters.extra
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="requires numpy")
+    def test_density_fallback_can_be_disabled(self, monkeypatch):
+        from repro.core import bitset_refine as br
+
+        monkeypatch.setattr(br, "DENSITY_FALLBACK_MIN_CANDIDATES", 1)
+        g = karate_club()
+        counters = SkylineCounters()
+        result = filter_refine_bitset_sky(
+            g, counters=counters, density_fallback=False
+        )
+        assert counters.extra["refine_path"] == "bitset"
+        assert result.dominator == filter_refine_sky(g).dominator
+
+    def test_word_budget_reason_recorded(self):
+        g = karate_club()
+        counters = SkylineCounters()
+        filter_refine_bitset_sky(g, word_budget=0, counters=counters)
+        assert counters.extra["bitset_fallback_reason"] == "word-budget"
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="requires numpy")
+    def test_parallel_engine_honours_heuristic(self, monkeypatch):
+        from repro.core import bitset_refine as br
+        from repro.parallel import parallel_refine_sky
+
+        monkeypatch.setattr(br, "DENSITY_FALLBACK_MIN_CANDIDATES", 1)
+        g = karate_club()
+        counters = SkylineCounters()
+        result = parallel_refine_sky(
+            g, workers=1, refine="bitset", counters=counters
+        )
+        assert counters.extra["refine_path"] == "bloom-fallback"
+        assert counters.extra["bitset_fallback_reason"] == "candidate-density"
+        assert result.dominator == filter_refine_sky(g).dominator
+        # The bypass restores the packed kernel.
+        bypass = SkylineCounters()
+        parallel_refine_sky(
+            g,
+            workers=1,
+            refine="bitset",
+            counters=bypass,
+            density_fallback=False,
+        )
+        assert bypass.extra["refine_path"] == "bitset"

@@ -1,0 +1,176 @@
+"""Tests for the flat-array CSR BFS kernels.
+
+:class:`~repro.paths.csr.CSRTraversal` re-implements the list-based
+kernels of :mod:`repro.paths.bfs` and :mod:`repro.paths.truncated` over
+preallocated scratch buffers; every test here is an equivalence check
+against those references, because the lazy greedy engine's exactness
+proof leans on the kernels being *identical*, not just correct.
+"""
+
+import pytest
+
+from repro.centrality.group_closeness_max import ClosenessObjective
+from repro.centrality.group_harmonic_max import HarmonicObjective
+from repro.graph.adjacency import Graph
+from repro.paths.bfs import bfs_distances, multi_source_distances
+from repro.paths.csr import CSRTraversal, make_evaluator
+from repro.paths.truncated import improvements
+
+
+def dist_after(graph, group):
+    """The eager driver's distance vector ``d(v, S)`` for group ``S``."""
+    if not group:
+        return [-1] * graph.num_vertices
+    return multi_source_distances(graph, group)
+
+
+class TestFullBfs:
+    def test_path(self, p6):
+        trav = CSRTraversal.from_graph(p6)
+        assert trav.bfs_distances(0) == bfs_distances(p6, 0)
+
+    def test_every_source_matches(self, karate):
+        trav = CSRTraversal.from_graph(karate)
+        for src in karate.vertices():
+            assert trav.bfs_distances(src) == bfs_distances(karate, src)
+
+    def test_disconnected_marks_unreachable(self, disconnected):
+        trav = CSRTraversal.from_graph(disconnected)
+        for src in disconnected.vertices():
+            assert trav.bfs_distances(src) == bfs_distances(
+                disconnected, src
+            )
+
+    def test_multi_source(self, karate):
+        trav = CSRTraversal.from_graph(karate)
+        for sources in ([5], [0, 33], [0, 16, 33], []):
+            assert trav.multi_source_distances(
+                sources
+            ) == multi_source_distances(karate, sources)
+
+    def test_multi_source_duplicates(self, p6):
+        trav = CSRTraversal.from_graph(p6)
+        assert trav.multi_source_distances([2, 2]) == bfs_distances(p6, 2)
+
+    def test_buffer_reuse_across_calls(self, karate):
+        # The queue buffer is shared state; interleaving full and
+        # truncated traversals must not leak between calls.
+        trav = CSRTraversal.from_graph(karate)
+        first = trav.bfs_distances(0)
+        trav.improvements(33, [-1] * karate.num_vertices)
+        trav.multi_source_distances([1, 2])
+        assert trav.bfs_distances(0) == first
+        assert all(d == -2 for d in trav._new_dist)
+
+
+class TestImprovements:
+    @pytest.mark.parametrize("group", [[], [0], [0, 33], [5, 11, 20]])
+    def test_matches_generator_kernel(self, karate, group):
+        trav = CSRTraversal.from_graph(karate)
+        current = dist_after(karate, group)
+        for u in karate.vertices():
+            expected = list(improvements(karate, u, current))
+            assert trav.improvements(u, current) == expected
+
+    def test_source_in_group_empty(self, karate):
+        trav = CSRTraversal.from_graph(karate)
+        current = dist_after(karate, [7])
+        assert trav.improvements(7, current) == []
+        assert all(d == -2 for d in trav._new_dist)
+
+    def test_disconnected_components(self, disconnected):
+        trav = CSRTraversal.from_graph(disconnected)
+        for group in ([], [0], [0, 3]):
+            current = dist_after(disconnected, group)
+            for u in disconnected.vertices():
+                expected = list(improvements(disconnected, u, current))
+                assert trav.improvements(u, current) == expected
+
+    def test_scratch_reset_between_sources(self, karate):
+        trav = CSRTraversal.from_graph(karate)
+        current = [-1] * karate.num_vertices
+        # Same source twice: a dirty new_dist buffer would prune the
+        # second call down to nothing.
+        first = trav.improvements(0, current)
+        assert trav.improvements(0, current) == first
+
+
+class TestEvaluators:
+    def objective_cases(self, graph):
+        return [
+            ("closeness", ClosenessObjective(graph)),
+            ("harmonic", HarmonicObjective()),
+        ]
+
+    @pytest.mark.parametrize("group", [[], [0], [0, 33, 5]])
+    def test_gain_matches_weight_sum(self, karate, group):
+        trav = CSRTraversal.from_graph(karate)
+        current = dist_after(karate, group)
+        for _name, objective in self.objective_cases(karate):
+            evaluate = make_evaluator(trav, objective)
+            weight = objective.gain_weight
+            for u in karate.vertices():
+                expected_gain = 0.0
+                expected_updates = []
+                for v, old, new in improvements(karate, u, current):
+                    expected_gain += weight(old, new)
+                    expected_updates.append((v, new))
+                gain, updates = evaluate(u, current, True)
+                assert gain == expected_gain  # bitwise, not approx
+                assert updates == expected_updates
+
+    def test_collect_false_same_gain(self, karate):
+        trav = CSRTraversal.from_graph(karate)
+        current = [-1] * karate.num_vertices
+        for _name, objective in self.objective_cases(karate):
+            evaluate = make_evaluator(trav, objective)
+            for u in (0, 16, 33):
+                gain_c, updates = evaluate(u, current, True)
+                gain_n, none = evaluate(u, current, False)
+                assert gain_n == gain_c
+                assert none is None
+                assert updates
+
+    def test_generic_fallback_kernel(self, p6):
+        class WeirdObjective:
+            """A gain objective with no specialized CSR kernel."""
+
+            name = "weird"
+
+            def gain_weight(self, old, new):
+                """Count improved vertices, nothing else."""
+                return 1.0
+
+        trav = CSRTraversal.from_graph(p6)
+        evaluate = make_evaluator(trav, WeirdObjective())
+        gain, updates = evaluate(0, [-1] * 6, True)
+        assert gain == 6.0
+        assert len(updates) == 6
+
+    def test_harmonic_disconnected_bitwise(self, disconnected):
+        trav = CSRTraversal.from_graph(disconnected)
+        objective = HarmonicObjective()
+        evaluate = make_evaluator(trav, objective)
+        current = dist_after(disconnected, [0])
+        weight = objective.gain_weight
+        for u in disconnected.vertices():
+            expected = 0.0
+            for _v, old, new in improvements(disconnected, u, current):
+                expected += weight(old, new)
+            gain, _updates = evaluate(u, current, True)
+            assert gain == expected
+
+
+class TestConstruction:
+    def test_from_graph_matches_manual(self, karate):
+        indptr, indices = karate.to_csr()
+        manual = CSRTraversal(indptr, indices)
+        auto = CSRTraversal.from_graph(karate)
+        assert manual.n == auto.n == karate.num_vertices
+        assert list(manual.indices) == list(auto.indices)
+
+    def test_singleton_graph(self):
+        g = Graph.from_edges(1, [])
+        trav = CSRTraversal.from_graph(g)
+        assert trav.bfs_distances(0) == [0]
+        assert trav.improvements(0, [-1]) == [(0, -1, 0)]
