@@ -1,0 +1,184 @@
+"""Measure the pool supervisor's overhead against a raw pool replica.
+
+The supervisor's no-fault cost is pure bookkeeping: one deadline per
+``future.result`` wait, one schema check per chunk, and counter sums.
+This benchmark prices that bookkeeping by running the refine phase's
+exact chunk workload twice over the same shipped payload —
+
+* **raw**: ``ProcessPoolExecutor.map`` over the status and witness
+  chunks, no deadlines, no validation, no retry machinery (the
+  pre-supervisor engine's shape);
+* **supervised**: the same tasks through :class:`PoolSupervisor.run`
+  with the engine's validators and fallback wired, fault plan empty.
+
+Both sides pay pool startup and payload shipping, so the delta is the
+supervision itself.  Min-of-N wall times and the overhead percentage
+are merged into ``BENCH_skyline.json`` (target: < 2%).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_resilience_overhead.py \
+        [--dataset NAME] [--workers W] [--repeats N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from array import array
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.bloom.vertex_filters import width_for_max_degree
+from repro.core.filter_phase import filter_phase
+from repro.harness.benchjson import (
+    BENCH_FILENAME,
+    bench_entry,
+    write_bench_json,
+)
+from repro.parallel.chunks import chunk_ranges, default_chunk_size
+from repro.parallel.engine import _pool_context
+from repro.parallel.supervisor import PoolSupervisor, SupervisorConfig
+from repro.parallel.worker import (
+    build_payload,
+    build_state,
+    init_worker,
+    run_status_chunk,
+    run_witness_chunk,
+    validate_status_chunk,
+    validate_witness_chunk,
+)
+from repro.workloads import load
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _prepare(graph):
+    candidates, dominator = filter_phase(graph)
+    dmax = max((graph.degree(u) for u in graph.vertices()), default=0)
+    bits = width_for_max_degree(dmax, 8)
+    payload = build_payload(
+        graph, candidates, dominator, bits=bits, seed=0, refine="bloom"
+    )
+    state = build_state(
+        graph, candidates, dominator, bits=bits, seed=0, refine="bloom"
+    )
+    return candidates, payload, state
+
+
+def _witness_tasks(dominated, size):
+    blob = array("q", dominated)
+    return [(lo, hi, blob) for lo, hi in chunk_ranges(len(dominated), size)]
+
+
+def run_raw(payload, status_tasks, size, workers):
+    """The two refine passes over a bare executor — no supervision."""
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=_pool_context(),
+        initializer=init_worker,
+        initargs=(payload,),
+    ) as pool:
+        dominated = []
+        for part, _stats in pool.map(run_status_chunk, status_tasks):
+            dominated.extend(part)
+        pairs = []
+        for part, _stats in pool.map(
+            run_witness_chunk, _witness_tasks(dominated, size)
+        ):
+            pairs.extend(part)
+    return dominated, pairs
+
+
+def run_supervised(payload, state, status_tasks, size, workers):
+    """The same passes through the supervisor, fault plan empty."""
+    supervisor = PoolSupervisor(
+        workers=workers,
+        initializer=init_worker,
+        initargs=(payload,),
+        config=SupervisorConfig(),
+        mp_context=_pool_context(),
+    )
+    with supervisor:
+        dominated = []
+        for part, _stats in supervisor.run(
+            run_status_chunk,
+            status_tasks,
+            fallback=lambda task: run_status_chunk(task, state),
+            validate=validate_status_chunk,
+        ):
+            dominated.extend(part)
+        pairs = []
+        for part, _stats in supervisor.run(
+            run_witness_chunk,
+            _witness_tasks(dominated, size),
+            fallback=lambda task: run_witness_chunk(task, state),
+            validate=validate_witness_chunk,
+        ):
+            pairs.extend(part)
+    return dominated, pairs
+
+
+def measure(dataset: str, workers: int, repeats: int) -> list[dict]:
+    graph = load(dataset)
+    candidates, payload, state = _prepare(graph)
+    size = default_chunk_size(len(candidates), workers)
+    status_tasks = chunk_ranges(len(candidates), size)
+
+    best_raw = best_sup = float("inf")
+    reference = None
+    # Alternate the order inside every repeat so cache/scheduler drift
+    # cannot systematically favor one side of the min.
+    for _ in range(repeats):
+        start = time.perf_counter()
+        raw = run_raw(payload, status_tasks, size, workers)
+        best_raw = min(best_raw, time.perf_counter() - start)
+
+        start = time.perf_counter()
+        sup = run_supervised(payload, state, status_tasks, size, workers)
+        best_sup = min(best_sup, time.perf_counter() - start)
+
+        assert raw == sup, "supervised pool diverged from raw pool"
+        reference = raw
+
+    assert reference is not None
+    overhead_pct = 100.0 * (best_sup - best_raw) / best_raw
+    print(
+        f"{dataset}: workers={workers} chunks={len(status_tasks)} "
+        f"raw={best_raw:.3f}s supervised={best_sup:.3f}s "
+        f"overhead={overhead_pct:+.2f}% (target < 2%)"
+    )
+    return [
+        bench_entry(
+            bench="resilience_overhead",
+            instance=dataset,
+            algorithm=f"raw-pool(w={workers})",
+            wall_s=best_raw,
+        ),
+        bench_entry(
+            bench="resilience_overhead",
+            instance=dataset,
+            algorithm=f"supervised-pool(w={workers})",
+            wall_s=best_sup,
+            extra={"overhead_pct": round(overhead_pct, 2)},
+        ),
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", default="wikitalk_sim")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    entries = measure(args.dataset, args.workers, args.repeats)
+    path = os.path.join(REPO_ROOT, BENCH_FILENAME)
+    write_bench_json(path, entries)
+    print(f"merged {len(entries)} entries into {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

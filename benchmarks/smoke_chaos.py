@@ -1,0 +1,120 @@
+"""CI chaos smoke: injected worker faults never change any result.
+
+Plain script (no pytest) so CI can run it in seconds: replays a fixed
+fault schedule — one plan per kind (crash / corrupt / oom / slow, plus
+a short-deadline hang) and a seeded random plan — against the pooled
+refine engine and the pooled lazy-greedy round 0 on tiny registry
+instances, asserting every recovered result bit-for-bit identical to
+the sequential reference and that the recovery left a visible trace in
+the ``resilience_*`` counters.
+
+Everything is seeded, so a failure here replays identically on a
+laptop with the same command.  Exit status is non-zero on any
+mismatch.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_chaos.py [dataset ...]
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+
+from repro.centrality.greedy import greedy_maximize
+from repro.centrality.group_closeness_max import ClosenessObjective
+from repro.centrality.lazy_greedy import lazy_greedy_maximize
+from repro.core.counters import SkylineCounters
+from repro.core.filter_refine import filter_refine_sky
+from repro.harness.faults import FaultPlan
+from repro.parallel.engine import parallel_refine_sky
+from repro.workloads import load
+
+DEFAULT_INSTANCES = ("karate", "bombing_proxy")
+SMOKE_K = 5
+SMOKE_SEED = 20230410  # fixed: CI and laptops replay the same chaos
+HANG_DEADLINE = 1.0
+
+#: The chaos schedule: every fault kind once, then a seeded random
+#: plan.  Hang gets a short deadline so the kill path actually runs.
+PLANS = (
+    ("crash", FaultPlan.single("crash"), None),
+    ("corrupt", FaultPlan.single("corrupt"), None),
+    ("oom", FaultPlan.single("oom"), None),
+    ("slow", FaultPlan.single("slow", slow_seconds=0.02), None),
+    ("hang", FaultPlan.single("hang", hang_seconds=15.0), HANG_DEADLINE),
+    ("seeded", FaultPlan.seeded(SMOKE_SEED, rate=0.3), None),
+)
+
+
+def _events(counters: SkylineCounters) -> dict[str, int]:
+    return {
+        k: v
+        for k, v in counters.extra.items()
+        if k.startswith("resilience_") and v
+    }
+
+
+def run(instances) -> None:
+    for name in instances:
+        graph = load(name)
+        seq_sky = filter_refine_sky(graph)
+        seq_greedy = greedy_maximize(graph, SMOKE_K, ClosenessObjective(graph))
+        fired: dict[str, int] = {}
+
+        for label, plan, deadline in PLANS:
+            counters = SkylineCounters()
+            result = parallel_refine_sky(
+                graph,
+                workers=2,
+                small_graph_edges=0,
+                counters=counters,
+                fault_plan=plan,
+                timeout=deadline,
+            )
+            assert result.skyline == seq_sky.skyline, (name, label)
+            assert result.dominator == seq_sky.dominator, (name, label)
+            assert result.candidates == seq_sky.candidates, (name, label)
+            for key, value in _events(counters).items():
+                fired[key] = fired.get(key, 0) + value
+
+            counters = SkylineCounters()
+            result = lazy_greedy_maximize(
+                graph,
+                SMOKE_K,
+                ClosenessObjective(graph),
+                workers=2,
+                small_graph_edges=0,
+                counters=counters,
+                fault_plan=plan,
+                timeout=deadline,
+            )
+            assert result.group == seq_greedy.group, (name, label)
+            assert result.gains == seq_greedy.gains, (name, label)
+            for key, value in _events(counters).items():
+                fired[key] = fired.get(key, 0) + value
+
+            assert multiprocessing.active_children() == [], (name, label)
+
+        # The schedule must have actually exercised every recovery path.
+        for key in (
+            "resilience_worker_crashes",
+            "resilience_corrupt_payloads",
+            "resilience_worker_errors",
+            "resilience_deadline_kills",
+            "resilience_retries",
+        ):
+            assert fired.get(key, 0) >= 1, (name, key, fired)
+
+        summary = ", ".join(f"{k}={v}" for k, v in sorted(fired.items()))
+        print(f"{name}: all chaos results bit-for-bit sequential; {summary}")
+
+
+def main(argv) -> int:
+    run(tuple(argv) or DEFAULT_INSTANCES)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -57,6 +57,7 @@ def base_gc(
     *,
     strategy: str = "eager",
     workers: int = 1,
+    timeout: Optional[float] = None,
 ) -> GreedyResult:
     """Greedy group-closeness over the full vertex set (``BaseGC``).
 
@@ -70,6 +71,7 @@ def base_gc(
         ClosenessObjective(graph),
         strategy=strategy,
         workers=workers,
+        timeout=timeout,
     )
 
 
@@ -80,6 +82,7 @@ def neisky_gc(
     skyline: Optional[tuple[int, ...]] = None,
     strategy: str = "eager",
     workers: int = 1,
+    timeout: Optional[float] = None,
 ) -> GreedyResult:
     """Algorithm 4 (``NeiSkyGC``): greedy restricted to the skyline.
 
@@ -97,4 +100,5 @@ def neisky_gc(
         candidates=skyline,
         strategy=strategy,
         workers=workers,
+        timeout=timeout,
     )

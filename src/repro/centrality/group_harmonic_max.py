@@ -51,6 +51,7 @@ def base_gh(
     *,
     strategy: str = "eager",
     workers: int = 1,
+    timeout: Optional[float] = None,
 ) -> GreedyResult:
     """Greedy group-harmonic over the full vertex set (``BaseGH``)."""
     return run_greedy(
@@ -59,6 +60,7 @@ def base_gh(
         HarmonicObjective(),
         strategy=strategy,
         workers=workers,
+        timeout=timeout,
     )
 
 
@@ -69,6 +71,7 @@ def neisky_gh(
     skyline: Optional[tuple[int, ...]] = None,
     strategy: str = "eager",
     workers: int = 1,
+    timeout: Optional[float] = None,
 ) -> GreedyResult:
     """``NeiSkyGH``: greedy group-harmonic restricted to the skyline."""
     if skyline is None:
@@ -80,4 +83,5 @@ def neisky_gh(
         candidates=skyline,
         strategy=strategy,
         workers=workers,
+        timeout=timeout,
     )

@@ -58,29 +58,61 @@ def _pooled_round0(
     scope: list[int],
     workers: int,
     chunk_size: Optional[int],
+    timeout: Optional[float],
+    max_retries: int,
+    fault_plan,
+    resilience_events: Optional[dict],
 ) -> list[float]:
-    """Round-0 gains of ``scope``, fanned over a worker pool."""
+    """Round-0 gains of ``scope``, fanned over a supervised worker pool.
+
+    Runs under the :class:`~repro.parallel.supervisor.PoolSupervisor`:
+    crashed/hung/corrupt workers are retried and, past the retry
+    budget, their chunks are recomputed sequentially in-process on a
+    state rebuilt from the *same* payload the workers got — the gains
+    are bitwise identical either way, so recovery never changes the
+    group.  The pool is context-managed, so workers are terminated on
+    every exit path, including a raising chunk mid-iteration.
+    """
     from repro.parallel.chunks import chunk_ranges, default_chunk_size
     from repro.parallel.greedy_worker import (
         build_greedy_payload,
+        build_greedy_state,
         init_greedy_worker,
         pool_context,
         run_gain_chunk,
+        validate_gain_chunk,
     )
+    from repro.parallel.supervisor import PoolSupervisor, SupervisorConfig
 
     payload = build_greedy_payload(graph, objective, scope)
     size = chunk_size or default_chunk_size(len(scope), workers)
     tasks = chunk_ranges(len(scope), size)
-    pool = pool_context().Pool(
-        processes=workers,
+
+    _fb: list = []
+
+    def _fallback(task):
+        if not _fb:
+            _fb.append(build_greedy_state(payload))
+        return run_gain_chunk(task, _fb[0])
+
+    supervisor = PoolSupervisor(
+        workers=workers,
         initializer=init_greedy_worker,
         initargs=(payload,),
+        config=SupervisorConfig(timeout=timeout, max_retries=max_retries),
+        fault_plan=fault_plan,
+        mp_context=pool_context(),
     )
-    try:
-        parts = pool.map(run_gain_chunk, tasks)
-    finally:
-        pool.close()
-        pool.join()
+    with supervisor:
+        parts = supervisor.run(
+            run_gain_chunk,
+            tasks,
+            fallback=_fallback,
+            validate=validate_gain_chunk,
+        )
+    if resilience_events is not None:
+        for key, value in supervisor.events.items():
+            resilience_events[key] = resilience_events.get(key, 0) + value
     gains: list[float] = []
     for part in parts:
         gains.extend(part)
@@ -96,6 +128,10 @@ def lazy_greedy_maximize(
     workers: int = 1,
     chunk_size: Optional[int] = None,
     small_graph_edges: int = SMALL_GRAPH_EDGES,
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
+    fault_plan=None,
+    counters=None,
 ) -> GreedyResult:
     """CELF-style greedy maximization; output equals ``greedy_maximize``.
 
@@ -110,15 +146,25 @@ def lazy_greedy_maximize(
     small_graph_edges:
         In-process threshold: graphs with fewer edges never pay for a
         pool.  Pass ``0`` to force pooling (tests do).
+    timeout / max_retries / fault_plan:
+        Supervisor recovery policy and chaos injection for the round-0
+        pool, as in :func:`~repro.parallel.engine.parallel_refine_sky`.
+        None of them can change the result.
+    counters:
+        Optional :class:`~repro.core.counters.SkylineCounters`; a
+        pooled round 0 records its recovery events under
+        ``counters.extra["resilience_*"]``.
     """
+    from repro.parallel.params import validate_pool_params
+
     if k < 0:
         raise ParameterError(f"group size k must be >= 0, got {k}")
-    if workers < 1:
-        raise ParameterError(
-            f"workers must be a positive integer, got {workers}"
-        )
-    if chunk_size is not None and chunk_size < 1:
-        raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+    validate_pool_params(
+        workers=workers,
+        chunk_size=chunk_size,
+        timeout=timeout,
+        max_retries=max_retries,
+    )
     n = graph.num_vertices
     k = min(k, n)
     if candidates is None:
@@ -162,7 +208,15 @@ def lazy_greedy_maximize(
             )
             if use_pool:
                 gain_vec = _pooled_round0(
-                    graph, objective, scope, workers, chunk_size
+                    graph,
+                    objective,
+                    scope,
+                    workers,
+                    chunk_size,
+                    timeout,
+                    max_retries,
+                    fault_plan,
+                    None if counters is None else counters.extra,
                 )
                 # max() keeps the first maximum: smallest-ID tie-break.
                 best_idx = max(
@@ -235,13 +289,19 @@ def run_greedy(
     workers: int = 1,
     chunk_size: Optional[int] = None,
     small_graph_edges: int = SMALL_GRAPH_EDGES,
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
+    fault_plan=None,
+    counters=None,
 ) -> GreedyResult:
     """Strategy dispatcher shared by the Base*/NeiSky* entry points.
 
     ``strategy="eager"`` runs the reference driver; ``"lazy"`` runs the
     CELF engine (identical output).  ``workers`` applies only to the
     lazy strategy's round-0 fan-out — combining it with eager is
-    rejected rather than silently ignored.
+    rejected rather than silently ignored — and ``timeout`` /
+    ``max_retries`` / ``fault_plan`` / ``counters`` configure that
+    fan-out's supervisor (see :func:`lazy_greedy_maximize`).
     """
     if strategy == "eager":
         if workers != 1:
@@ -262,4 +322,8 @@ def run_greedy(
         workers=workers,
         chunk_size=chunk_size,
         small_graph_edges=small_graph_edges,
+        timeout=timeout,
+        max_retries=max_retries,
+        fault_plan=fault_plan,
+        counters=counters,
     )

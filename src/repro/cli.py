@@ -10,9 +10,19 @@ Subcommands mirror the paper's three workloads:
   without skyline pruning.
 * ``stats``    — structural statistics (degrees, triangles, clustering,
   assortativity, diameter bound).
+* ``sweep``    — a datasets × algorithms × trials benchmark grid with
+  optional checkpointing (``--checkpoint``) and resume (``--resume``):
+  a killed sweep restarts where it left off and produces the same
+  final report as an uninterrupted one.
 
 Graphs come either from the registry (``--dataset``) or from an edge
 list on disk (``--edge-list``, ``#`` comments, 0-based IDs).
+
+Ctrl-C is handled cleanly: pooled workers are terminated (the engines
+run under the :class:`~repro.parallel.supervisor.PoolSupervisor`, whose
+context manager kills the pool on any exit), partial results are
+discarded, any checkpoint written so far is kept, and the process exits
+with the conventional code 130 — no multiprocessing traceback spray.
 """
 
 from __future__ import annotations
@@ -27,7 +37,8 @@ from repro.clique import base_topk_mcc, mc_brb, neisky_mc, neisky_topk_mcc
 from repro.core import ALGORITHMS, SkylineCounters, neighborhood_skyline
 from repro.core.result import SkylineResult
 from repro.errors import ParameterError, ReproError
-from repro.parallel import parallel_refine_sky
+from repro.harness.checkpoint import CheckpointJournal
+from repro.parallel import parallel_refine_sky, validate_pool_params
 from repro.graph.adjacency import Graph
 from repro.graph.io import read_edge_list
 from repro.graph.stats import graph_stats
@@ -58,6 +69,17 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
             "the parallel engine (identical output, see docs)"
         ),
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-chunk deadline of the pool supervisor; a hung or "
+            "crashed worker chunk is retried and, past its retry "
+            "budget, recomputed in-process (default: supervisor's)"
+        ),
+    )
 
 
 def _validated_workers(args: argparse.Namespace) -> int:
@@ -66,6 +88,7 @@ def _validated_workers(args: argparse.Namespace) -> int:
         raise ParameterError(
             f"--workers must be a positive integer, got {workers}"
         )
+    validate_pool_params(timeout=getattr(args, "timeout", None))
     return workers
 
 
@@ -82,7 +105,7 @@ def _parallel_skyline(
             "--workers accelerates the skyline computation; it cannot be "
             "combined with --no-skyline"
         )
-    return parallel_refine_sky(graph, workers=workers)
+    return parallel_refine_sky(graph, workers=workers, timeout=args.timeout)
 
 
 def _load_graph(args: argparse.Namespace) -> Graph:
@@ -104,14 +127,19 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_skyline(args: argparse.Namespace) -> int:
-    graph = _load_graph(args)
-    counters = SkylineCounters() if args.stats else None
-    workers = _validated_workers(args)
-    algorithm = args.algorithm
-    options = {}
+def _skyline_dispatch(
+    algorithm: str, workers: int, timeout: Optional[float]
+) -> tuple[str, dict]:
+    """Resolve ``--workers``/``--timeout`` into (algorithm, options).
+
+    Shared by ``skyline`` and ``sweep``: ``workers > 1`` reroutes the
+    filter_refine family through the supervised parallel engine.
+    """
+    options: dict = {}
     if algorithm == "filter_refine_parallel":
         options["workers"] = workers
+        if timeout is not None:
+            options["timeout"] = timeout
     elif workers != 1:
         if algorithm == "filter_refine_bitset":
             # Same engine, bitset kernel in the workers.
@@ -123,6 +151,18 @@ def _cmd_skyline(args: argparse.Namespace) -> int:
             )
         algorithm = "filter_refine_parallel"
         options["workers"] = workers
+        if timeout is not None:
+            options["timeout"] = timeout
+    return algorithm, options
+
+
+def _cmd_skyline(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    counters = SkylineCounters() if args.stats else None
+    workers = _validated_workers(args)
+    algorithm, options = _skyline_dispatch(
+        args.algorithm, workers, args.timeout
+    )
     start = time.perf_counter()
     result = neighborhood_skyline(
         graph, algorithm=algorithm, counters=counters, **options
@@ -162,7 +202,9 @@ def _cmd_group(args: argparse.Namespace) -> int:
     precomputed: Optional[SkylineResult] = None
     if workers > 1:
         if not args.no_skyline:
-            precomputed = parallel_refine_sky(graph, workers=workers)
+            precomputed = parallel_refine_sky(
+                graph, workers=workers, timeout=args.timeout
+            )
         elif not lazy:
             raise ParameterError(
                 "--workers accelerates the skyline computation and the "
@@ -177,6 +219,8 @@ def _cmd_group(args: argparse.Namespace) -> int:
         "strategy": args.strategy,
         "workers": workers if lazy else 1,
     }
+    if lazy and args.timeout is not None:
+        options["timeout"] = args.timeout
     if precomputed is not None:
         options["skyline"] = precomputed.skyline
     start = time.perf_counter()
@@ -215,6 +259,80 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"avg local clustering {average_local_clustering(graph):.4f}")
     print(f"degree assortativity {degree_assortativity(graph):.4f}")
     print(f"diameter (approx >=) {approximate_diameter(graph)}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Benchmark grid over datasets × algorithms × trials, resumable.
+
+    With ``--checkpoint``, every finished cell is journaled atomically;
+    with ``--resume``, journaled cells are skipped and their recorded
+    measurements are reused, so a sweep killed at cell 7 of 9 restarts
+    there and the final report matches the uninterrupted run's.
+    """
+    workers = _validated_workers(args)
+    if args.trials < 1:
+        raise ParameterError(
+            f"--trials must be a positive integer, got {args.trials}"
+        )
+    datasets = [s for s in (p.strip() for p in args.datasets.split(",")) if s]
+    algorithms = [
+        s for s in (p.strip() for p in args.algorithms.split(",")) if s
+    ]
+    if not datasets or not algorithms:
+        raise ParameterError(
+            "--datasets and --algorithms must each name at least one item"
+        )
+    if args.resume and not args.checkpoint:
+        raise ParameterError("--resume requires --checkpoint PATH")
+    journal = (
+        CheckpointJournal(args.checkpoint) if args.checkpoint else None
+    )
+
+    rows = []
+    resumed = 0
+    for dataset in datasets:
+        graph = load(dataset)
+        for algorithm in algorithms:
+            run_algorithm, options = _skyline_dispatch(
+                algorithm, workers, args.timeout
+            )
+            for trial in range(args.trials):
+                cell = (
+                    journal.get(dataset, algorithm, trial)
+                    if journal is not None and args.resume
+                    else None
+                )
+                if cell is not None:
+                    resumed += 1
+                    size = cell.get("extra", {}).get("skyline_size")
+                    wall = cell.get("wall_s", 0.0)
+                else:
+                    start = time.perf_counter()
+                    result = neighborhood_skyline(
+                        graph, algorithm=run_algorithm, **options
+                    )
+                    wall = time.perf_counter() - start
+                    size = result.size
+                    if journal is not None:
+                        journal.mark_done(
+                            dataset,
+                            algorithm,
+                            trial,
+                            wall_s=wall,
+                            skyline_size=size,
+                        )
+                rows.append((dataset, algorithm, trial, size, f"{wall:.3f}"))
+
+    print(
+        format_table(
+            ("dataset", "algorithm", "trial", "|R|", "wall_s"), rows
+        )
+    )
+    if journal is not None:
+        print(f"checkpoint: {args.checkpoint} ({len(journal)} cells)")
+    if args.resume:
+        print(f"  resilience_resumed_cells = {resumed}")
     return 0
 
 
@@ -322,6 +440,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_graph_arguments(p_stats)
 
+    p_swp = sub.add_parser(
+        "sweep",
+        help="resumable datasets x algorithms x trials benchmark grid",
+    )
+    p_swp.add_argument(
+        "--datasets",
+        required=True,
+        metavar="A,B,...",
+        help="comma-separated registry dataset names",
+    )
+    p_swp.add_argument(
+        "--algorithms",
+        default="filter_refine",
+        metavar="A,B,...",
+        help=(
+            "comma-separated skyline algorithms (default: filter_refine)"
+        ),
+    )
+    p_swp.add_argument(
+        "--trials", type=int, default=1, help="trials per cell"
+    )
+    p_swp.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help=(
+            "journal completed (dataset, algorithm, trial) cells into "
+            "this JSON file, atomically, as they finish"
+        ),
+    )
+    p_swp.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "skip cells already in --checkpoint and reuse their "
+            "recorded measurements"
+        ),
+    )
+    _add_workers_argument(p_swp)
+
     p_clq = sub.add_parser("clique", help="maximum clique search")
     _add_graph_arguments(p_clq)
     p_clq.add_argument(
@@ -342,6 +499,7 @@ _COMMANDS = {
     "group": _cmd_group,
     "clique": _cmd_clique,
     "stats": _cmd_stats,
+    "sweep": _cmd_sweep,
 }
 
 
@@ -351,6 +509,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        # Pooled workers are already dead: the supervisor's context
+        # manager terminates its pool on the way out, and workers
+        # ignore SIGINT so only the parent reports.  One line, no
+        # multiprocessing traceback, conventional 128+SIGINT code.
+        print(
+            "interrupted: partial results discarded; checkpoint (if "
+            "any) kept — rerun with --resume",
+            file=sys.stderr,
+        )
+        return 130
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

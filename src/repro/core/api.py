@@ -119,6 +119,7 @@ def group_centrality_maximize(
     skyline: Optional[tuple[int, ...]] = None,
     strategy: str = "eager",
     workers: int = 1,
+    timeout: Optional[float] = None,
 ):
     """One-call dispatcher for the Sec. IV group-centrality applications.
 
@@ -142,12 +143,22 @@ def group_centrality_maximize(
         :mod:`repro.centrality.lazy_greedy` — identical output, fewer
         evaluations — with ``workers`` fanning its first round over a
         process pool.
+    timeout:
+        Per-chunk deadline (seconds) of the round-0 pool's supervisor;
+        ``None`` uses the supervisor default.  Recovery never changes
+        the result.
 
     Returns a :class:`~repro.centrality.greedy.GreedyResult`.  Imported
     lazily: :mod:`repro.centrality` itself imports core modules.
+
+    Pool parameters are validated here, at the API boundary, so a bad
+    value raises :class:`~repro.errors.ParameterError` before any graph
+    work (or pool fork) happens.
     """
     from repro.centrality import base_gc, base_gh, neisky_gc, neisky_gh
+    from repro.parallel.params import validate_pool_params
 
+    validate_pool_params(workers=workers, timeout=timeout)
     if measure == "closeness":
         base_run, sky_run = base_gc, neisky_gc
     elif measure == "harmonic":
@@ -158,7 +169,14 @@ def group_centrality_maximize(
             "'harmonic'"
         )
     if not use_skyline:
-        return base_run(graph, k, strategy=strategy, workers=workers)
+        return base_run(
+            graph, k, strategy=strategy, workers=workers, timeout=timeout
+        )
     return sky_run(
-        graph, k, skyline=skyline, strategy=strategy, workers=workers
+        graph,
+        k,
+        skyline=skyline,
+        strategy=strategy,
+        workers=workers,
+        timeout=timeout,
     )

@@ -20,9 +20,20 @@ from repro.parallel.greedy_worker import (
     init_greedy_worker,
     run_gain_chunk,
 )
+from repro.parallel.params import validate_pool_params
+from repro.parallel.supervisor import (
+    DEFAULT_MAX_RETRIES,
+    DEFAULT_TIMEOUT,
+    PoolSupervisor,
+    SupervisorConfig,
+)
 
 __all__ = [
+    "DEFAULT_MAX_RETRIES",
+    "DEFAULT_TIMEOUT",
     "SMALL_GRAPH_EDGES",
+    "PoolSupervisor",
+    "SupervisorConfig",
     "chunk_ranges",
     "default_chunk_size",
     "default_worker_count",
@@ -30,4 +41,5 @@ __all__ = [
     "build_greedy_payload",
     "init_greedy_worker",
     "run_gain_chunk",
+    "validate_pool_params",
 ]

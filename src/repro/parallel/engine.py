@@ -47,13 +47,23 @@ from repro.graph.bitmatrix import (
     matrix_words,
 )
 from repro.parallel.chunks import chunk_ranges, default_chunk_size
+from repro.parallel.params import validate_pool_params
+from repro.parallel.supervisor import (
+    DEFAULT_MAX_RETRIES,
+    PoolSupervisor,
+    SupervisorConfig,
+)
 from repro.parallel.worker import (
     build_payload,
     build_state,
     init_worker,
     run_status_chunk,
     run_witness_chunk,
+    validate_status_chunk,
+    validate_witness_chunk,
 )
+
+from repro.harness.faults import FaultPlan
 
 __all__ = ["parallel_refine_sky", "default_worker_count", "SMALL_GRAPH_EDGES"]
 
@@ -93,6 +103,9 @@ def parallel_refine_sky(
     refine: str = "bloom",
     word_budget: Optional[int] = None,
     density_fallback: bool = True,
+    timeout: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> SkylineResult:
     """Compute the neighborhood skyline with a parallel refine phase.
 
@@ -140,9 +153,24 @@ def parallel_refine_sky(
     density_fallback:
         ``False`` disables the candidate-density cutover only, as in
         :func:`~repro.core.bitset_refine.filter_refine_bitset_sky`.
+    timeout / max_retries:
+        Recovery policy of the :class:`~repro.parallel.supervisor.
+        PoolSupervisor` every pooled run now executes under: per-chunk
+        deadline in seconds (``None`` uses the supervisor default) and
+        pool re-attempts per chunk before the supervisor recomputes the
+        chunk sequentially in-process.  Recovery never changes the
+        result — only where a chunk runs — and every recovery event is
+        recorded under ``counters.extra["resilience_*"]``.
+    fault_plan:
+        Deterministic fault injection for chaos tests
+        (:class:`~repro.harness.faults.FaultPlan`); ``None`` (the
+        default, and the only sane production value) injects nothing.
+        Ignored on the in-process path, which has no workers to break.
 
     The result's ``skyline``/``dominator``/``candidates`` are identical
-    to the sequential ``filter_refine_sky`` for any worker count.
+    to the sequential ``filter_refine_sky`` for any worker count — and,
+    with supervision, for any combination of worker crashes, hangs and
+    corrupt payloads.
     """
     if not exact:
         raise ParameterError(
@@ -162,12 +190,12 @@ def parallel_refine_sky(
         )
     if workers is None:
         workers = default_worker_count()
-    if workers < 1:
-        raise ParameterError(
-            f"workers must be a positive integer, got {workers}"
-        )
-    if chunk_size is not None and chunk_size < 1:
-        raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+    validate_pool_params(
+        workers=workers,
+        chunk_size=chunk_size,
+        timeout=timeout,
+        max_retries=max_retries,
+    )
     if bloom_bits is None:
         dmax = max((graph.degree(u) for u in graph.vertices()), default=0)
         bits = width_for_max_degree(dmax, bits_per_element)
@@ -204,6 +232,7 @@ def parallel_refine_sky(
     use_pool = workers > 1 and graph.num_edges >= small_graph_edges
 
     chunk_dicts: list[dict] = []
+    resilience_events: Optional[dict[str, int]] = None
     if use_pool:
         payload = build_payload(
             graph,
@@ -214,12 +243,51 @@ def parallel_refine_sky(
             refine=effective_refine,
             matrix=matrix,
         )
-        pool = _pool_context().Pool(
-            processes=workers, initializer=init_worker, initargs=(payload,)
+
+        # The guaranteed sequential fallback: an in-process RefineState
+        # built lazily, only if a chunk actually exhausts its retries.
+        # Scans are pure functions of frozen state, so recomputing any
+        # chunk here yields exactly the value the worker would have.
+        _fb: list = []
+
+        def _fallback_state():
+            if not _fb:
+                _fb.append(
+                    build_state(
+                        graph,
+                        candidates,
+                        dominator,
+                        bits=bits,
+                        seed=seed,
+                        refine=effective_refine,
+                        matrix=matrix,
+                    )
+                )
+            return _fb[0]
+
+        supervisor = PoolSupervisor(
+            workers=workers,
+            initializer=init_worker,
+            initargs=(payload,),
+            config=SupervisorConfig(
+                timeout=timeout, max_retries=max_retries, seed=seed
+            ),
+            fault_plan=fault_plan,
+            mp_context=_pool_context(),
         )
-        try:
+        # Context management guarantees terminate()/join() on *every*
+        # exit path — a chunk raising mid-iteration, RecoveryError,
+        # Ctrl-C — so no child process ever outlives the engine call.
+        with supervisor:
             dominated: list[int] = []
-            for part, stats in pool.map(run_status_chunk, status_tasks):
+            for part, stats in supervisor.run(
+                run_status_chunk,
+                status_tasks,
+                fallback=lambda task: run_status_chunk(
+                    task, _fallback_state()
+                ),
+                validate=validate_status_chunk,
+            ):
                 dominated.extend(part)
                 chunk_dicts.append(stats)
             blob = array("q", dominated)
@@ -228,12 +296,17 @@ def parallel_refine_sky(
                 for lo, hi in chunk_ranges(len(dominated), size)
             ]
             witness_pairs: list[tuple[int, int]] = []
-            for part, stats in pool.map(run_witness_chunk, witness_tasks):
+            for part, stats in supervisor.run(
+                run_witness_chunk,
+                witness_tasks,
+                fallback=lambda task: run_witness_chunk(
+                    task, _fallback_state()
+                ),
+                validate=validate_witness_chunk,
+            ):
                 witness_pairs.extend(part)
                 chunk_dicts.append(stats)
-        finally:
-            pool.close()
-            pool.join()
+        resilience_events = supervisor.events
     else:
         state = build_state(
             graph,
@@ -266,6 +339,9 @@ def parallel_refine_sky(
         counters.extra["parallel_workers"] = workers
         counters.extra["parallel_chunks"] = len(status_tasks)
         counters.extra["parallel_rescans"] = len(dominated)
+        if resilience_events is not None:
+            for key, value in resilience_events.items():
+                counters.extra[key] = counters.extra.get(key, 0) + value
         if bitset_fallback_reason is not None:
             counters.extra["refine_path"] = "bloom-fallback"
             counters.extra["bitset_fallback_reason"] = bitset_fallback_reason

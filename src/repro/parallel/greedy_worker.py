@@ -33,6 +33,7 @@ __all__ = [
     "init_greedy_worker",
     "pool_context",
     "run_gain_chunk",
+    "validate_gain_chunk",
 ]
 
 
@@ -83,3 +84,18 @@ def run_gain_chunk(task: tuple, state: Optional[tuple] = None) -> array:
     return array(
         "d", [evaluate(u, current, False)[0] for u in pool[lo:hi]]
     )
+
+
+def validate_gain_chunk(task: tuple, result) -> bool:
+    """Schema check for a :func:`run_gain_chunk` payload.
+
+    Exactly one non-NaN float per pool slot.  (No sign check: the
+    bundled objectives only produce non-negative round-0 gains, but the
+    evaluator accepts arbitrary ``GainObjective`` weights.)
+    """
+    lo, hi = task
+    if not isinstance(result, array) or result.typecode != "d":
+        return False
+    if len(result) != hi - lo:
+        return False
+    return all(g == g for g in result)

@@ -1,0 +1,71 @@
+"""One-stop validation for the pooled engines' scheduling parameters.
+
+Every pooled entry point — :func:`repro.parallel.engine.parallel_refine_sky`,
+:func:`repro.centrality.lazy_greedy.lazy_greedy_maximize`, the
+:func:`repro.core.api.group_centrality_maximize` dispatcher and the CLI —
+accepts the same knobs (``workers``, ``chunk_size``, ``timeout``,
+``max_retries``).  Validating them here, once, at the API boundary means
+a bad value surfaces as a :class:`~repro.errors.ParameterError` naming
+the offending parameter instead of a ``TypeError`` deep inside
+:func:`~repro.parallel.chunks.chunk_ranges` or a hung ``result()`` wait.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ParameterError
+
+__all__ = ["validate_pool_params", "normalized_timeout"]
+
+_UNSET = object()
+
+
+def _require_int(name: str, value, minimum: int) -> None:
+    # bool is an int subclass; True as a worker count is a bug, not 1.
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ParameterError(
+            f"{name} must be an integer, got {value!r}"
+        )
+    if value < minimum:
+        raise ParameterError(
+            f"{name} must be >= {minimum}, got {value}"
+        )
+
+
+def validate_pool_params(
+    *,
+    workers=_UNSET,
+    chunk_size=_UNSET,
+    timeout=_UNSET,
+    max_retries=_UNSET,
+) -> None:
+    """Raise :class:`ParameterError` for any invalid scheduling knob.
+
+    Only the keywords actually passed are checked, so callers validate
+    exactly the parameters they expose.  ``chunk_size`` and ``timeout``
+    accept ``None`` (meaning "pick a default"); ``workers`` and
+    ``max_retries`` do not.
+    """
+    if workers is not _UNSET:
+        _require_int("workers", workers, 1)
+    if chunk_size is not _UNSET and chunk_size is not None:
+        _require_int("chunk_size", chunk_size, 1)
+    if max_retries is not _UNSET:
+        _require_int("max_retries", max_retries, 0)
+    if timeout is not _UNSET and timeout is not None:
+        if isinstance(timeout, bool) or not isinstance(
+            timeout, (int, float)
+        ):
+            raise ParameterError(
+                f"timeout must be a number of seconds, got {timeout!r}"
+            )
+        if timeout <= 0:
+            raise ParameterError(
+                f"timeout must be > 0 seconds, got {timeout}"
+            )
+
+
+def normalized_timeout(timeout: Optional[float]) -> Optional[float]:
+    """``timeout`` as a float, with ``None`` passed through."""
+    return None if timeout is None else float(timeout)

@@ -1,0 +1,365 @@
+"""Resilient pool supervision for the chunked parallel engines.
+
+The PR-1/PR-3 pooled paths (`parallel_refine_sky`'s status/witness
+passes, the lazy greedy round-0 fan-out) assumed a perfect pool: a
+worker that segfaults, hangs or returns garbage took the whole run down
+with it.  :class:`PoolSupervisor` removes that assumption without
+touching the engines' correctness arguments, because every chunk is a
+pure function of frozen state — re-running one, anywhere, any number of
+times, yields the same value.  Supervision therefore composes freely
+with the bit-for-bit equivalence proofs: the supervisor only decides
+*where* and *when* a chunk runs, never *what* it computes.
+
+Failure handling, per chunk:
+
+* **Crash** — a worker dying (segfault, ``os._exit``) breaks the
+  :class:`~concurrent.futures.process.ProcessPoolExecutor`; the
+  supervisor kills what is left of the pool, rebuilds it, and
+  resubmits every unfinished chunk.
+* **Hang / deadline** — each chunk gets ``config.timeout`` seconds
+  from the moment the supervisor starts waiting on it (chunks are
+  collected in submission order, so later chunks only ever get *more*
+  slack, never less).  A blown deadline terminates the worker
+  processes outright — ``close()``/``join()`` would wait on the hung
+  task forever — then rebuilds.
+* **Worker exception** — e.g. ``MemoryError``: the pool survives;
+  only the failing chunk is retried.
+* **Corrupt payload** — every result is passed to the caller's
+  ``validate(task, result)`` schema check before it is accepted; a
+  rejected payload is indistinguishable from a failed chunk.
+
+Each observed failure charges the chunk one unit of its bounded retry
+budget, preceded by an exponential backoff with deterministic seeded
+jitter (``config.seed``) so chaos tests replay identically.  When the
+budget is exhausted the supervisor runs the caller's sequential
+``fallback(task)`` in-process — the guaranteed path that cannot crash
+differently from the sequential engine itself.  Only a fallback that
+*also* raises surfaces, as :class:`~repro.errors.RecoveryError`.
+
+Every recovery event lands in :attr:`PoolSupervisor.events` under
+``resilience_*`` keys, which the engines merge into
+``counters.extra`` — observability rides the existing counter channel.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
+from dataclasses import dataclass
+from random import Random
+from typing import Callable, Optional, Sequence
+
+from repro.errors import RecoveryError
+from repro.harness.faults import (
+    CORRUPT_PAYLOAD,
+    FaultPlan,
+    active_fault,
+    install_fault_plan,
+    perform_fault,
+    wants_corrupt_return,
+)
+from repro.parallel.params import validate_pool_params
+
+__all__ = [
+    "DEFAULT_TIMEOUT",
+    "DEFAULT_MAX_RETRIES",
+    "PoolSupervisor",
+    "SupervisorConfig",
+    "supervised_call",
+]
+
+#: Per-chunk deadline when the caller does not set one.  Generous on
+#: purpose: a deadline kill on a *live* chunk is safe (the retry or the
+#: sequential fallback recomputes the identical value) but wasteful, so
+#: the default only has to catch genuine hangs and silent worker deaths.
+DEFAULT_TIMEOUT = 300.0
+
+#: Retry budget per chunk before the sequential fallback takes over.
+DEFAULT_MAX_RETRIES = 2
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Recovery policy knobs, bundled so engines forward one object.
+
+    ``timeout``
+        Per-chunk deadline in seconds (``None`` → :data:`DEFAULT_TIMEOUT`).
+    ``max_retries``
+        Pool re-attempts per chunk before falling back sequentially.
+    ``backoff_base`` / ``backoff_cap``
+        Exponential backoff before a retry round: attempt ``a`` sleeps
+        ``min(cap, base · 2^(a-1))`` scaled by jitter in ``[0.5, 1.0)``.
+    ``seed``
+        Seed of the jitter stream — recovery timing is reproducible.
+    """
+
+    timeout: Optional[float] = None
+    max_retries: int = DEFAULT_MAX_RETRIES
+    backoff_base: float = 0.01
+    backoff_cap: float = 0.25
+    seed: int = 0
+
+    def effective_timeout(self) -> float:
+        """The per-chunk deadline in seconds (``None`` → the default)."""
+        return DEFAULT_TIMEOUT if self.timeout is None else float(self.timeout)
+
+
+def _init_supervised_worker(plan, initializer, initargs) -> None:
+    """Composed pool initializer: fault plan first, then the engine's own.
+
+    Workers also ignore SIGINT — on Ctrl-C the *parent* decides
+    (terminate + one-line message), instead of every child spraying a
+    ``KeyboardInterrupt`` traceback over the terminal.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # non-main thread / exotic platforms
+        pass
+    install_fault_plan(plan)
+    if initializer is not None:
+        initializer(*initargs)
+
+
+def supervised_call(fn, chunk_id: int, attempt: int, task):
+    """Worker-side chunk entry: consult the fault plan, then run ``fn``.
+
+    Module-level so it pickles by reference under any start method.
+    """
+    kind = active_fault(chunk_id, attempt)
+    if kind is not None:
+        token = perform_fault(kind)
+        if wants_corrupt_return(token):
+            return CORRUPT_PAYLOAD
+    return fn(task)
+
+
+#: Event-counter keys (``resilience_`` prefix added on read-out).
+_EVENTS = (
+    "retries",
+    "fallback_chunks",
+    "worker_crashes",
+    "deadline_kills",
+    "worker_errors",
+    "corrupt_payloads",
+    "pool_rebuilds",
+    "backoffs",
+)
+
+#: Placeholder for "no result collected yet" (worker payloads are
+#: tuples/arrays, so even a worker returning ``None`` is distinguishable).
+_UNSET = object()
+
+
+class PoolSupervisor:
+    """Owns one worker pool and runs chunk batches over it, resiliently.
+
+    Use as a context manager: ``__exit__`` unconditionally terminates
+    whatever pool is alive, so no child process survives an exception —
+    including ``KeyboardInterrupt`` — raised anywhere inside the block.
+
+    One supervisor may :meth:`run` several batches (the refine engine
+    runs its status and witness passes over the same pool); events
+    accumulate across them.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int,
+        initializer: Optional[Callable] = None,
+        initargs: tuple = (),
+        config: Optional[SupervisorConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        mp_context=None,
+    ):
+        config = config or SupervisorConfig()
+        validate_pool_params(
+            workers=workers,
+            timeout=config.timeout,
+            max_retries=config.max_retries,
+        )
+        self.workers = workers
+        self.config = config
+        self.fault_plan = fault_plan
+        self._mp_context = mp_context
+        self._initializer = initializer
+        self._initargs = initargs
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._rng = Random(config.seed)
+        self.events: dict[str, int] = {f"resilience_{k}": 0 for k in _EVENTS}
+
+    # -- pool lifecycle ------------------------------------------------
+    def __enter__(self) -> "PoolSupervisor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._kill_pool(count_rebuild=False)
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=self._mp_context,
+                initializer=_init_supervised_worker,
+                initargs=(self.fault_plan, self._initializer, self._initargs),
+            )
+        return self._executor
+
+    def _kill_pool(self, count_rebuild: bool = True) -> None:
+        """Terminate the pool *now* — never wait on possibly-hung tasks."""
+        executor = self._executor
+        if executor is None:
+            return
+        self._executor = None
+        # ProcessPoolExecutor has no public terminate(); killing the
+        # worker processes directly is the only way to reclaim a hung
+        # pool, and shutdown(wait=False) then reaps the plumbing.
+        procs = list(getattr(executor, "_processes", {}).values())
+        for proc in procs:
+            try:
+                proc.terminate()
+            except (OSError, AttributeError, ValueError):
+                pass
+        executor.shutdown(wait=False, cancel_futures=True)
+        for proc in procs:
+            try:
+                proc.join(5.0)
+            except (OSError, AssertionError, ValueError):
+                pass
+        if count_rebuild:
+            self.events["resilience_pool_rebuilds"] += 1
+
+    # -- recovery helpers ----------------------------------------------
+    def _backoff(self, attempt: int) -> None:
+        cfg = self.config
+        delay = min(cfg.backoff_cap, cfg.backoff_base * (2 ** (attempt - 1)))
+        self.events["resilience_backoffs"] += 1
+        time.sleep(delay * (0.5 + self._rng.random() / 2))
+
+    def _valid(self, validate, task, result) -> bool:
+        if validate is None:
+            return result is not CORRUPT_PAYLOAD and result != CORRUPT_PAYLOAD
+        try:
+            return bool(validate(task, result))
+        except (TypeError, ValueError, KeyError, IndexError):
+            return False
+
+    def _run_fallback(self, fallback, task):
+        self.events["resilience_fallback_chunks"] += 1
+        try:
+            return fallback(task)
+        except Exception as exc:
+            raise RecoveryError(
+                "sequential fallback failed after the retry budget was "
+                f"exhausted: {exc!r}"
+            ) from exc
+
+    # -- the batch runner ----------------------------------------------
+    def run(
+        self,
+        fn: Callable,
+        tasks: Sequence,
+        *,
+        fallback: Callable,
+        validate: Optional[Callable] = None,
+    ) -> list:
+        """``[fn(task) for task in tasks]`` with supervised execution.
+
+        Results come back in task order.  ``fn`` must be a module-level
+        (picklable) function of one task; ``fallback(task)`` must
+        compute the same value in-process; ``validate(task, result)``
+        (optional) returns truth or raises on a malformed payload.
+        """
+        results = [_UNSET] * len(tasks)
+        attempts = [0] * len(tasks)
+        pending = list(range(len(tasks)))
+        deadline = self.config.effective_timeout()
+
+        while pending:
+            executor = self._ensure_pool()
+            try:
+                futures = {
+                    i: executor.submit(
+                        supervised_call, fn, i, attempts[i], tasks[i]
+                    )
+                    for i in pending
+                }
+            except (BrokenProcessPool, RuntimeError):
+                # The pool broke before it even accepted work (e.g. a
+                # crashing initializer): charge the first pending chunk
+                # so progress is guaranteed, rebuild, go around.
+                self.events["resilience_worker_crashes"] += 1
+                self._kill_pool()
+                self._observe_failure(
+                    pending[0], attempts, fallback, results, tasks
+                )
+                pending = [i for i in pending if results[i] is _UNSET]
+                continue
+
+            failed: list[int] = []
+            pool_dead = False
+            for i in pending:
+                future = futures[i]
+                if pool_dead:
+                    # Pool already gone: salvage chunks that finished
+                    # before the kill, leave the rest (including
+                    # futures cancelled by the shutdown — their
+                    # CancelledError is a BaseException) for
+                    # resubmission.
+                    if not future.done() or future.cancelled():
+                        continue
+                try:
+                    result = future.result(timeout=None if pool_dead else deadline)
+                except FutureTimeoutError:
+                    self.events["resilience_deadline_kills"] += 1
+                    self._kill_pool()
+                    pool_dead = True
+                    failed.append(i)
+                    continue
+                except BrokenProcessPool:
+                    if not pool_dead:
+                        self.events["resilience_worker_crashes"] += 1
+                        self._kill_pool()
+                        pool_dead = True
+                        failed.append(i)
+                    continue
+                except Exception:
+                    # Raised *inside* the worker; the pool is healthy.
+                    self.events["resilience_worker_errors"] += 1
+                    failed.append(i)
+                    continue
+                if self._valid(validate, tasks[i], result):
+                    results[i] = result
+                else:
+                    self.events["resilience_corrupt_payloads"] += 1
+                    failed.append(i)
+
+            max_attempt = 0
+            for i in failed:
+                max_attempt = max(
+                    max_attempt,
+                    self._observe_failure(
+                        i, attempts, fallback, results, tasks
+                    ),
+                )
+            pending = [i for i in pending if results[i] is _UNSET]
+            if pending and max_attempt:
+                self._backoff(max_attempt)
+        return results
+
+    def _observe_failure(
+        self, i: int, attempts: list, fallback, results: list, tasks
+    ) -> int:
+        """Charge chunk ``i``'s budget; fall back when it is spent.
+
+        Returns the chunk's new attempt number (0 when it was resolved
+        by fallback — no backoff needed for work already done).
+        """
+        attempts[i] += 1
+        if attempts[i] > self.config.max_retries:
+            results[i] = self._run_fallback(fallback, tasks[i])
+            return 0
+        self.events["resilience_retries"] += 1
+        return attempts[i]

@@ -65,6 +65,8 @@ __all__ = [
     "scan_status_bitset",
     "scan_witness",
     "scan_witness_bitset",
+    "validate_status_chunk",
+    "validate_witness_chunk",
 ]
 
 
@@ -430,6 +432,60 @@ def run_status_chunk(task: tuple, state: Optional[RefineState] = None):
         u for u in state.candidates[lo:hi] if scan(state, u, stats)
     ]
     return dominated, stats.as_dict()
+
+
+def _valid_stats(stats) -> bool:
+    return isinstance(stats, dict) and all(
+        isinstance(k, str)
+        and isinstance(v, int)
+        and not isinstance(v, bool)
+        for k, v in stats.items()
+    )
+
+
+def _valid_vertex(u) -> bool:
+    return isinstance(u, int) and not isinstance(u, bool) and u >= 0
+
+
+def validate_status_chunk(task: tuple, result) -> bool:
+    """Schema check for a :func:`run_status_chunk` payload.
+
+    The supervisor rejects (and recomputes) anything that is not a
+    ``(ascending vertex-id list, counter dict)`` pair sized within the
+    chunk — a worker returning garbage must never poison the merge.
+    """
+    lo, hi = task[0], task[1]
+    if not (isinstance(result, tuple) and len(result) == 2):
+        return False
+    part, stats = result
+    if not isinstance(part, list) or len(part) > hi - lo:
+        return False
+    if not all(_valid_vertex(u) for u in part):
+        return False
+    if any(part[j] >= part[j + 1] for j in range(len(part) - 1)):
+        return False
+    return _valid_stats(stats)
+
+
+def validate_witness_chunk(task: tuple, result) -> bool:
+    """Schema check for a :func:`run_witness_chunk` payload.
+
+    Exactly one ``(dominated, witness)`` pair per chunk entry — the
+    witness pass never drops or invents candidates.
+    """
+    lo, hi = task[0], task[1]
+    if not (isinstance(result, tuple) and len(result) == 2):
+        return False
+    part, stats = result
+    if not isinstance(part, list) or len(part) != hi - lo:
+        return False
+    for pair in part:
+        if not (isinstance(pair, tuple) and len(pair) == 2):
+            return False
+        u, w = pair
+        if not (_valid_vertex(u) and _valid_vertex(w)) or u == w:
+            return False
+    return _valid_stats(stats)
 
 
 def run_witness_chunk(task: tuple, state: Optional[RefineState] = None):

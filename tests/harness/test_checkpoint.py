@@ -1,0 +1,106 @@
+"""Unit tests for the resumable-run checkpoint journal."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.harness.checkpoint import CHECKPOINT_SCHEMA_VERSION, CheckpointJournal
+
+
+def test_missing_file_is_an_empty_journal(tmp_path):
+    journal = CheckpointJournal(str(tmp_path / "ck.json"))
+    assert len(journal) == 0
+    assert not journal.is_done("karate", "base", 0)
+    assert journal.get("karate", "base", 0) is None
+    assert journal.cells() == []
+
+
+def test_mark_done_persists_and_reloads(tmp_path):
+    path = str(tmp_path / "ck.json")
+    journal = CheckpointJournal(path)
+    record = journal.mark_done(
+        "karate", "filter_refine", 0, wall_s=1.25, skyline_size=8
+    )
+    assert record["wall_s"] == 1.25
+    assert record["extra"] == {"skyline_size": 8}
+
+    reloaded = CheckpointJournal(path)
+    assert len(reloaded) == 1
+    assert reloaded.is_done("karate", "filter_refine", 0)
+    cell = reloaded.get("karate", "filter_refine", 0)
+    assert cell["wall_s"] == 1.25
+    assert cell["extra"]["skyline_size"] == 8
+
+
+def test_remarking_a_cell_replaces_it(tmp_path):
+    journal = CheckpointJournal(str(tmp_path / "ck.json"))
+    journal.mark_done("g", "base", 1, wall_s=9.0)
+    journal.mark_done("g", "base", 1, wall_s=2.0)
+    assert len(journal) == 1
+    assert journal.get("g", "base", 1)["wall_s"] == 2.0
+
+
+def test_cells_sorted_by_key(tmp_path):
+    journal = CheckpointJournal(str(tmp_path / "ck.json"))
+    journal.mark_done("b", "x", 1)
+    journal.mark_done("a", "y", 0)
+    journal.mark_done("a", "x", 2)
+    keys = [(c["dataset"], c["algorithm"], c["trial"]) for c in journal.cells()]
+    assert keys == [("a", "x", 2), ("a", "y", 0), ("b", "x", 1)]
+
+
+def test_document_shape_on_disk(tmp_path):
+    path = str(tmp_path / "ck.json")
+    CheckpointJournal(path).mark_done("karate", "base", 0)
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    assert doc["schema"] == CHECKPOINT_SCHEMA_VERSION
+    assert doc["cells"] == [
+        {"dataset": "karate", "algorithm": "base", "trial": 0}
+    ]
+
+
+def test_flush_leaves_no_temp_files(tmp_path):
+    journal = CheckpointJournal(str(tmp_path / "ck.json"))
+    for trial in range(5):
+        journal.mark_done("g", "base", trial)
+    assert sorted(os.listdir(tmp_path)) == ["ck.json"]
+
+
+def test_unreadable_json_raises_parameter_error(tmp_path):
+    path = tmp_path / "ck.json"
+    path.write_text("{not json", encoding="utf-8")
+    with pytest.raises(ParameterError, match="not readable JSON"):
+        CheckpointJournal(str(path))
+
+
+def test_alien_schema_raises_parameter_error(tmp_path):
+    path = tmp_path / "ck.json"
+    path.write_text(json.dumps({"schema": 99, "cells": []}), encoding="utf-8")
+    with pytest.raises(ParameterError, match="schema-1"):
+        CheckpointJournal(str(path))
+
+
+def test_non_checkpoint_json_raises_parameter_error(tmp_path):
+    # Pointing --checkpoint at e.g. BENCH_skyline.json must not clobber it.
+    path = tmp_path / "BENCH_skyline.json"
+    path.write_text(json.dumps({"entries": []}), encoding="utf-8")
+    with pytest.raises(ParameterError):
+        CheckpointJournal(str(path))
+
+
+def test_malformed_cell_raises_parameter_error(tmp_path):
+    path = tmp_path / "ck.json"
+    doc = {"schema": 1, "cells": [{"dataset": "g", "algorithm": "base"}]}
+    path.write_text(json.dumps(doc), encoding="utf-8")
+    with pytest.raises(ParameterError, match="malformed"):
+        CheckpointJournal(str(path))
+
+
+def test_trial_key_normalized_to_int(tmp_path):
+    journal = CheckpointJournal(str(tmp_path / "ck.json"))
+    journal.mark_done("g", "base", 3)
+    assert journal.is_done("g", "base", 3)
+    assert journal.get("g", "base", 3)["trial"] == 3

@@ -1,0 +1,267 @@
+"""Chaos suite: the supervised engines survive every fault bit-for-bit.
+
+The contract under test is the strongest one the supervisor makes: for
+*any* seeded fault plan — worker crashes, hangs, slowdowns, corrupt
+payloads, simulated OOM — the pooled refine engine and the pooled
+greedy round 0 return results identical to their sequential references,
+with the recovery visible in ``counters.extra["resilience_*"]``.
+"""
+
+import multiprocessing
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.centrality.greedy import greedy_maximize
+from repro.centrality.group_closeness_max import ClosenessObjective
+from repro.centrality.lazy_greedy import lazy_greedy_maximize
+from repro.core.counters import SkylineCounters
+from repro.core.filter_refine import filter_refine_sky
+from repro.errors import ParameterError, RecoveryError
+from repro.graph.generators import copying_power_law
+from repro.harness.faults import FaultPlan
+from repro.parallel.engine import parallel_refine_sky
+from repro.parallel.supervisor import (
+    DEFAULT_TIMEOUT,
+    PoolSupervisor,
+    SupervisorConfig,
+)
+
+#: Deadline used when a hang must actually be killed; generous enough
+#: for slow CI but short enough to keep the suite quick.
+HANG_DEADLINE = 1.0
+
+#: One plan per fault kind, each firing on the first attempt of chunk 0
+#: (of every supervised batch — the refine engine runs two).
+FAULT_PLANS = {
+    "crash": FaultPlan.single("crash"),
+    "hang": FaultPlan.single("hang", hang_seconds=20.0),
+    "slow": FaultPlan.single("slow", slow_seconds=0.05),
+    "corrupt": FaultPlan.single("corrupt"),
+    "oom": FaultPlan.single("oom"),
+}
+
+#: Counter keys that must fire for each injected kind ("slow" recovers
+#: by simply finishing — no recovery event is the correct outcome).
+EXPECTED_EVENTS = {
+    "crash": ("resilience_worker_crashes", "resilience_retries"),
+    "hang": ("resilience_deadline_kills", "resilience_pool_rebuilds"),
+    "slow": (),
+    "corrupt": ("resilience_corrupt_payloads", "resilience_retries"),
+    "oom": ("resilience_worker_errors", "resilience_retries"),
+}
+
+
+def _timeout_for(kind: str) -> float:
+    return HANG_DEADLINE if kind == "hang" else DEFAULT_TIMEOUT
+
+
+# ---------------------------------------------------------------------
+# Fault matrix: every kind × {refine, greedy} × workers {2, 4}
+# ---------------------------------------------------------------------
+@pytest.mark.parametrize("workers", (2, 4))
+@pytest.mark.parametrize("kind", sorted(FAULT_PLANS))
+def test_refine_fault_matrix(karate, kind, workers):
+    seq = filter_refine_sky(karate)
+    counters = SkylineCounters()
+    result = parallel_refine_sky(
+        karate,
+        workers=workers,
+        small_graph_edges=0,
+        counters=counters,
+        fault_plan=FAULT_PLANS[kind],
+        timeout=_timeout_for(kind),
+    )
+    assert result.skyline == seq.skyline
+    assert result.dominator == seq.dominator
+    assert result.candidates == seq.candidates
+    assert counters.extra["parallel_mode"] == "pool"
+    for key in EXPECTED_EVENTS[kind]:
+        assert counters.extra[key] >= 1, (kind, key, counters.extra)
+    assert multiprocessing.active_children() == []
+
+
+@pytest.mark.parametrize("workers", (2, 4))
+@pytest.mark.parametrize("kind", sorted(FAULT_PLANS))
+def test_greedy_fault_matrix(karate, kind, workers):
+    objective = ClosenessObjective(karate)
+    seq = greedy_maximize(karate, 5, objective)
+    counters = SkylineCounters()
+    result = lazy_greedy_maximize(
+        karate,
+        5,
+        ClosenessObjective(karate),
+        workers=workers,
+        small_graph_edges=0,
+        counters=counters,
+        fault_plan=FAULT_PLANS[kind],
+        timeout=_timeout_for(kind),
+    )
+    assert result.group == seq.group
+    assert result.gains == seq.gains
+    for key in EXPECTED_EVENTS[kind]:
+        assert counters.extra[key] >= 1, (kind, key, counters.extra)
+    assert multiprocessing.active_children() == []
+
+
+# ---------------------------------------------------------------------
+# Retry budget exhaustion → guaranteed sequential fallback
+# ---------------------------------------------------------------------
+@pytest.mark.parametrize("kind", ("oom", "corrupt"))
+def test_exhausted_retries_fall_back_sequentially(karate, kind):
+    # Fault every attempt of chunk 0, far past any retry budget.
+    plan = FaultPlan({(0, a): kind for a in range(10)})
+    seq = filter_refine_sky(karate)
+    counters = SkylineCounters()
+    result = parallel_refine_sky(
+        karate,
+        workers=2,
+        small_graph_edges=0,
+        counters=counters,
+        fault_plan=plan,
+        max_retries=1,
+    )
+    assert result.skyline == seq.skyline
+    assert result.dominator == seq.dominator
+    assert counters.extra["resilience_fallback_chunks"] >= 1
+    assert counters.extra["resilience_retries"] >= 1
+
+
+def test_greedy_exhausted_retries_fall_back(karate):
+    plan = FaultPlan({(0, a): "oom" for a in range(10)})
+    seq = greedy_maximize(karate, 4, ClosenessObjective(karate))
+    counters = SkylineCounters()
+    result = lazy_greedy_maximize(
+        karate,
+        4,
+        ClosenessObjective(karate),
+        workers=2,
+        small_graph_edges=0,
+        counters=counters,
+        fault_plan=plan,
+        max_retries=1,
+    )
+    assert result.group == seq.group
+    assert result.gains == seq.gains
+    assert counters.extra["resilience_fallback_chunks"] >= 1
+
+
+# ---------------------------------------------------------------------
+# No-fault path: supervision is invisible except for zeroed counters
+# ---------------------------------------------------------------------
+def test_no_fault_run_records_zero_recovery_events(karate):
+    seq = filter_refine_sky(karate)
+    counters = SkylineCounters()
+    result = parallel_refine_sky(
+        karate, workers=2, small_graph_edges=0, counters=counters
+    )
+    assert result.skyline == seq.skyline
+    resilience = {
+        k: v for k, v in counters.extra.items() if k.startswith("resilience_")
+    }
+    assert resilience  # the supervised path is observable...
+    assert all(v == 0 for v in resilience.values())  # ...and clean
+
+
+def test_in_process_run_has_no_resilience_counters(karate):
+    counters = SkylineCounters()
+    parallel_refine_sky(karate, workers=1, counters=counters)
+    assert not any(
+        k.startswith("resilience_") for k in counters.extra
+    )
+
+
+# ---------------------------------------------------------------------
+# Supervisor internals: teardown on the error path, RecoveryError
+# ---------------------------------------------------------------------
+def _boom_chunk(task):
+    raise ValueError(f"chunk {task} always fails")
+
+
+def _broken_fallback(task):
+    raise RuntimeError("fallback is broken too")
+
+
+def _echo_chunk(task):
+    return ("ok", task)
+
+
+def test_unrecoverable_failure_raises_and_leaks_nothing():
+    supervisor = PoolSupervisor(
+        workers=2, config=SupervisorConfig(max_retries=0)
+    )
+    with pytest.raises(RecoveryError):
+        with supervisor:
+            supervisor.run(
+                _boom_chunk, [(0, 1), (1, 2)], fallback=_broken_fallback
+            )
+    # The regression this guards: a chunk raising mid-iteration used to
+    # leave pool children running until interpreter exit.
+    assert multiprocessing.active_children() == []
+
+
+def test_recovery_error_chains_fallback_cause():
+    supervisor = PoolSupervisor(
+        workers=2, config=SupervisorConfig(max_retries=0)
+    )
+    with supervisor:
+        with pytest.raises(RecoveryError) as info:
+            supervisor.run(_boom_chunk, [(0, 1)], fallback=_broken_fallback)
+    assert isinstance(info.value.__cause__, RuntimeError)
+
+
+def test_supervisor_preserves_task_order():
+    tasks = list(range(17))
+    supervisor = PoolSupervisor(workers=2)
+    with supervisor:
+        results = supervisor.run(
+            _echo_chunk, tasks, fallback=_echo_chunk
+        )
+    assert results == [("ok", t) for t in tasks]
+
+
+def test_supervisor_rejects_bad_config():
+    with pytest.raises(ParameterError, match="workers"):
+        PoolSupervisor(workers=0)
+    with pytest.raises(ParameterError, match="timeout"):
+        PoolSupervisor(workers=2, config=SupervisorConfig(timeout=0))
+    with pytest.raises(ParameterError, match="max_retries"):
+        PoolSupervisor(workers=2, config=SupervisorConfig(max_retries=-1))
+
+
+def test_engine_rejects_bad_recovery_params(karate):
+    with pytest.raises(ParameterError, match="timeout"):
+        parallel_refine_sky(karate, timeout=-1.0)
+    with pytest.raises(ParameterError, match="max_retries"):
+        parallel_refine_sky(karate, max_retries=-2)
+    with pytest.raises(ParameterError, match="chunk_size"):
+        parallel_refine_sky(karate, chunk_size=2.5)
+
+
+# ---------------------------------------------------------------------
+# Property: random fault plans never change the skyline
+# ---------------------------------------------------------------------
+_CHAOS_GRAPH = copying_power_law(90, 2.5, 0.85, seed=13)
+_CHAOS_SEQ = filter_refine_sky(_CHAOS_GRAPH)
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_random_fault_plans_never_change_the_skyline(seed):
+    plan = FaultPlan.seeded(seed, rate=0.3)
+    counters = SkylineCounters()
+    result = parallel_refine_sky(
+        _CHAOS_GRAPH,
+        workers=2,
+        small_graph_edges=0,
+        counters=counters,
+        fault_plan=plan,
+    )
+    assert result.skyline == _CHAOS_SEQ.skyline
+    assert result.dominator == _CHAOS_SEQ.dominator
+    assert result.candidates == _CHAOS_SEQ.candidates

@@ -201,3 +201,123 @@ def test_clique_topk_workers_flag(capsys):
     )
     assert code == 0
     assert "#2" in capsys.readouterr().out
+
+
+def test_sweep_runs_grid(capsys):
+    code = main(
+        [
+            "sweep",
+            "--datasets",
+            "karate",
+            "--algorithms",
+            "filter_refine,base",
+            "--trials",
+            "2",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "dataset" in out and "wall_s" in out
+    # 2 algorithms x 2 trials = 4 rows, all on karate.
+    assert out.count("karate") == 4
+
+
+def test_sweep_checkpoint_then_resume(tmp_path, capsys):
+    path = str(tmp_path / "ck.json")
+    argv = [
+        "sweep",
+        "--datasets",
+        "karate",
+        "--algorithms",
+        "filter_refine",
+        "--trials",
+        "2",
+        "--checkpoint",
+        path,
+    ]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert f"checkpoint: {path} (2 cells)" in first
+
+    assert main(argv + ["--resume"]) == 0
+    second = capsys.readouterr().out
+    assert "resilience_resumed_cells = 2" in second
+    # Resumed cells reuse the journaled measurements, so the report
+    # (table included) matches the uninterrupted run line for line.
+    assert first.splitlines()[:4] == second.splitlines()[:4]
+
+
+def test_sweep_resume_requires_checkpoint(capsys):
+    code = main(["sweep", "--datasets", "karate", "--resume"])
+    assert code == 2
+    assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+
+def test_sweep_rejects_bad_trials(capsys):
+    code = main(["sweep", "--datasets", "karate", "--trials", "0"])
+    assert code == 2
+    assert "--trials must be a positive integer" in capsys.readouterr().err
+
+
+def test_sweep_rejects_empty_dataset_list(capsys):
+    code = main(["sweep", "--datasets", ","])
+    assert code == 2
+    assert "at least one item" in capsys.readouterr().err
+
+
+def test_sweep_rejects_corrupt_checkpoint(tmp_path, capsys):
+    path = tmp_path / "ck.json"
+    path.write_text("{not json")
+    code = main(
+        ["sweep", "--datasets", "karate", "--checkpoint", str(path)]
+    )
+    assert code == 2
+    assert "not readable JSON" in capsys.readouterr().err
+    # The broken file was NOT clobbered.
+    assert path.read_text() == "{not json"
+
+
+def test_keyboard_interrupt_is_clean_exit_130(monkeypatch, capsys):
+    import repro.cli as cli
+
+    def _interrupt(args):
+        raise KeyboardInterrupt
+
+    monkeypatch.setitem(cli._COMMANDS, "stats", _interrupt)
+    code = main(["stats", "--dataset", "karate"])
+    assert code == 130
+    err = capsys.readouterr().err
+    assert err.count("\n") == 1  # exactly one line, no traceback
+    assert "checkpoint (if any) kept" in err
+
+
+def test_skyline_timeout_flag(capsys):
+    code = main(
+        [
+            "skyline",
+            "--dataset",
+            "karate",
+            "--workers",
+            "2",
+            "--timeout",
+            "60",
+        ]
+    )
+    assert code == 0
+    assert "|R| = 15" in capsys.readouterr().out
+
+
+def test_timeout_must_be_positive(capsys):
+    code = main(
+        [
+            "skyline",
+            "--dataset",
+            "karate",
+            "--workers",
+            "2",
+            "--timeout",
+            "0",
+        ]
+    )
+    assert code == 2
+    assert "timeout" in capsys.readouterr().err
