@@ -32,10 +32,16 @@ import pytest
 
 from _datasets import dataset
 from repro.core.bitset_refine import filter_refine_bitset_sky
+from repro.core.counters import SkylineCounters
 from repro.core.filter_phase import filter_phase
 from repro.core.filter_refine import filter_refine_sky
 from repro.harness.benchjson import bench_entry
-from repro.parallel import default_worker_count, parallel_refine_sky
+from repro.parallel import (
+    EngineSession,
+    default_worker_count,
+    parallel_refine_sky,
+    shm_available,
+)
 from repro.workloads import TABLE1_NAMES
 
 WORKER_COUNTS = (2, 4)
@@ -195,4 +201,113 @@ def test_parallel_speedup(figure_report, bench_json, name):
         "candidate-dense instances (e.g. dblp_sim at ~48% candidates) "
         "where packing + group setup outweigh the cheaper pair tests. "
         "Worker speedups are relative to the sequential bitset run."
+    )
+
+
+# ----------------------------------------------------------------------
+# Data plane: payload ship + pool spin-up, pickle vs shm, cold vs warm.
+# ----------------------------------------------------------------------
+
+DATA_PLANE_INSTANCE = "wikitalk_sim"
+DATA_PLANE_WORKERS = 4
+#: Acceptance bar: a warm shm-session call's per-call setup must be at
+#: least this many times cheaper than a cold pickle call's.
+MIN_WARM_SETUP_SPEEDUP = 5.0
+
+
+@pytest.mark.skipif(
+    not shm_available(), reason="no usable shared memory on this host"
+)
+def test_data_plane_overhead(figure_report, bench_json):
+    """Setup cost of every (plane, pool temperature) serving mode.
+
+    A *cold* call pays pool spin-up plus payload shipping (full CSR
+    pickle, or segment publish for shm) on every invocation; a *warm*
+    session call reuses the pool and the published graph segments, so
+    its only per-call plane work is publishing the small call-scoped
+    blobs (candidates, dominated flags, bit-matrix rows).  Setup
+    overhead is separated from compute by subtracting the best warm
+    wall time — the steady-state floor where the pool and graph bytes
+    already sit in place.
+    """
+    graph = dataset(DATA_PLANE_INSTANCE)
+    workers = DATA_PLANE_WORKERS
+    seq = filter_refine_sky(graph)
+
+    def pooled(**kw):
+        result = parallel_refine_sky(
+            graph, workers=workers, small_graph_edges=0, **kw
+        )
+        assert result.skyline == seq.skyline
+        assert result.dominator == seq.dominator
+        return result
+
+    t_cold_pickle, _ = _best_of(3, lambda: pooled(data_plane="pickle"))
+    t_cold_shm, _ = _best_of(3, lambda: pooled(data_plane="shm"))
+
+    warm_walls = []
+    warm_publish = []
+    with EngineSession(graph, workers=workers, data_plane="shm") as session:
+        pooled(session=session)  # cold first call builds pool + segments
+        for _ in range(4):
+            counters = SkylineCounters()
+            start = time.perf_counter()
+            pooled(session=session, counters=counters)
+            warm_walls.append(time.perf_counter() - start)
+            assert counters.extra["parallel_session"] == "warm"
+            warm_publish.append(counters.extra["plane_publish_s"])
+    t_warm_shm = min(warm_walls)
+
+    # Per-call setup: everything above the warm steady-state floor.  A
+    # warm call's own setup is its segment-publish slice, measured
+    # directly by the engine rather than inferred by subtraction.
+    setup_cold_pickle = max(t_cold_pickle - t_warm_shm, 1e-9)
+    setup_cold_shm = max(t_cold_shm - t_warm_shm, 1e-9)
+    setup_warm_shm = max(min(warm_publish), 1e-9)
+    speedup = setup_cold_pickle / setup_warm_shm
+
+    rows = [
+        ("ColdPickle", t_cold_pickle, setup_cold_pickle),
+        ("ColdShm", t_cold_shm, setup_cold_shm),
+        ("WarmShmSession", t_warm_shm, setup_warm_shm),
+    ]
+    for mode, wall, setup in rows:
+        extra = {
+            "workers": workers,
+            "setup_overhead_s": setup,
+        }
+        if mode == "WarmShmSession":
+            extra["setup_speedup_vs_cold_pickle"] = speedup
+        bench_json(
+            bench_entry(
+                bench="data_plane",
+                instance=DATA_PLANE_INSTANCE,
+                algorithm=f"{mode}({workers}w)",
+                wall_s=wall,
+                extra=extra,
+            )
+        )
+
+    report = figure_report(
+        "Data plane overhead",
+        "Per-call wall and setup overhead (s) by data plane and pool "
+        "temperature",
+        ("mode", "wall", "setup overhead", "setup vs cold pickle"),
+    )
+    for mode, wall, setup in rows:
+        report.add_row(mode, wall, setup, setup_cold_pickle / setup)
+    report.add_note(
+        f"{DATA_PLANE_INSTANCE}, {workers} workers.  Cold calls rebuild "
+        "the pool and re-ship the graph every time; the warm session row "
+        "reuses one pool plus published CSR/candidate segments, so its "
+        "setup is only the per-call blob publish (measured by the engine "
+        "as plane_publish_s).  Every result was asserted bit-for-bit "
+        "equal to the sequential engine before timing was recorded."
+    )
+
+    assert speedup >= MIN_WARM_SETUP_SPEEDUP, (
+        f"warm shm session setup ({setup_warm_shm:.6f}s) is only "
+        f"{speedup:.1f}x cheaper than cold pickle "
+        f"({setup_cold_pickle:.6f}s); acceptance floor is "
+        f"{MIN_WARM_SETUP_SPEEDUP}x"
     )

@@ -58,12 +58,16 @@ def base_gc(
     strategy: str = "eager",
     workers: int = 1,
     timeout: Optional[float] = None,
+    data_plane: str = "auto",
+    session=None,
 ) -> GreedyResult:
     """Greedy group-closeness over the full vertex set (``BaseGC``).
 
     The eager strategy performs ``k(2n − k + 1)/2`` marginal-gain
     evaluations; ``strategy="lazy"`` returns the identical result with
-    (typically far) fewer.
+    (typically far) fewer.  ``data_plane`` / ``session`` configure the
+    lazy round-0 fan-out (see :func:`~repro.centrality.lazy_greedy.
+    lazy_greedy_maximize`).
     """
     return run_greedy(
         graph,
@@ -72,6 +76,8 @@ def base_gc(
         strategy=strategy,
         workers=workers,
         timeout=timeout,
+        data_plane=data_plane,
+        session=session,
     )
 
 
@@ -83,6 +89,8 @@ def neisky_gc(
     strategy: str = "eager",
     workers: int = 1,
     timeout: Optional[float] = None,
+    data_plane: str = "auto",
+    session=None,
 ) -> GreedyResult:
     """Algorithm 4 (``NeiSkyGC``): greedy restricted to the skyline.
 
@@ -101,4 +109,6 @@ def neisky_gc(
         strategy=strategy,
         workers=workers,
         timeout=timeout,
+        data_plane=data_plane,
+        session=session,
     )

@@ -52,6 +52,8 @@ def base_gh(
     strategy: str = "eager",
     workers: int = 1,
     timeout: Optional[float] = None,
+    data_plane: str = "auto",
+    session=None,
 ) -> GreedyResult:
     """Greedy group-harmonic over the full vertex set (``BaseGH``)."""
     return run_greedy(
@@ -61,6 +63,8 @@ def base_gh(
         strategy=strategy,
         workers=workers,
         timeout=timeout,
+        data_plane=data_plane,
+        session=session,
     )
 
 
@@ -72,6 +76,8 @@ def neisky_gh(
     strategy: str = "eager",
     workers: int = 1,
     timeout: Optional[float] = None,
+    data_plane: str = "auto",
+    session=None,
 ) -> GreedyResult:
     """``NeiSkyGH``: greedy group-harmonic restricted to the skyline."""
     if skyline is None:
@@ -84,4 +90,6 @@ def neisky_gh(
         strategy=strategy,
         workers=workers,
         timeout=timeout,
+        data_plane=data_plane,
+        session=session,
     )

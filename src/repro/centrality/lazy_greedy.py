@@ -61,20 +61,33 @@ def _pooled_round0(
     timeout: Optional[float],
     max_retries: int,
     fault_plan,
-    resilience_events: Optional[dict],
+    extra: Optional[dict],
+    data_plane: str = "pickle",
+    session=None,
 ) -> list[float]:
     """Round-0 gains of ``scope``, fanned over a supervised worker pool.
 
     Runs under the :class:`~repro.parallel.supervisor.PoolSupervisor`:
     crashed/hung/corrupt workers are retried and, past the retry
     budget, their chunks are recomputed sequentially in-process on a
-    state rebuilt from the *same* payload the workers got — the gains
+    state rebuilt from the *same* snapshot the workers got — the gains
     are bitwise identical either way, so recovery never changes the
-    group.  The pool is context-managed, so workers are terminated on
-    every exit path, including a raising chunk mid-iteration.
+    group.  On the pickle plane the snapshot ships through the pool
+    initializer; on the shm plane workers attach published CSR/pool
+    segments and each task carries a
+    :class:`~repro.parallel.greedy_worker.GreedySpec`.  A ``session``
+    supplies a warm pool and cached segments instead of per-call ones.
+
+    ``extra`` (a ``counters.extra`` dict, or ``None``) receives this
+    call's recovery-event deltas and data-plane facts.
     """
+    import time as _time
+    from hashlib import blake2b
+    from pickle import dumps as _dumps
+
     from repro.parallel.chunks import chunk_ranges, default_chunk_size
     from repro.parallel.greedy_worker import (
+        GreedySpec,
         build_greedy_payload,
         build_greedy_state,
         init_greedy_worker,
@@ -84,35 +97,117 @@ def _pooled_round0(
     )
     from repro.parallel.supervisor import PoolSupervisor, SupervisorConfig
 
-    payload = build_greedy_payload(graph, objective, scope)
     size = chunk_size or default_chunk_size(len(scope), workers)
     tasks = chunk_ranges(len(scope), size)
+    session_label = None
+    plane_publish_s = None
 
     _fb: list = []
 
-    def _fallback(task):
+    def _fallback_state():
         if not _fb:
-            _fb.append(build_greedy_state(payload))
-        return run_gain_chunk(task, _fb[0])
+            _fb.append(
+                build_greedy_state(
+                    build_greedy_payload(graph, objective, scope)
+                )
+            )
+        return _fb[0]
 
-    supervisor = PoolSupervisor(
-        workers=workers,
-        initializer=init_greedy_worker,
-        initargs=(payload,),
-        config=SupervisorConfig(timeout=timeout, max_retries=max_retries),
-        fault_plan=fault_plan,
-        mp_context=pool_context(),
-    )
-    with supervisor:
-        parts = supervisor.run(
-            run_gain_chunk,
-            tasks,
-            fallback=_fallback,
-            validate=validate_gain_chunk,
+    if data_plane == "shm":
+        from array import array
+
+        from repro.parallel.shm import ShmDataPlane
+
+        owns_plane = session is None
+        publish_t0 = _time.perf_counter()
+        if owns_plane:
+            plane = ShmDataPlane()
+            indptr, indices = graph.to_csr()
+            graph_refs = {
+                "indptr": plane.publish(indptr, "q"),
+                "indices": plane.publish(indices, "q"),
+            }
+            supervisor = PoolSupervisor(
+                workers=workers,
+                initializer=init_greedy_worker,
+                initargs=(("shm", graph_refs),),
+                config=SupervisorConfig(
+                    timeout=timeout, max_retries=max_retries
+                ),
+                fault_plan=fault_plan,
+                mp_context=pool_context(),
+            )
+            pool_ref = plane.publish(array("q", scope), "q")
+            epoch = 1
+        else:
+            plane = session.plane
+            supervisor = session.supervisor()
+            session_label = session.note_pooled_call()
+            pool_ref = session.cached_segment(
+                "gpool", array("q", scope), "q"
+            )
+            epoch = session.next_epoch()
+        # The key must distinguish objectives as well as scopes; the
+        # bundled objectives are tiny scalar-holders, so their pickle
+        # bytes are a stable identity.
+        obj_tag = blake2b(_dumps(objective), digest_size=8).hexdigest()
+        spec = GreedySpec(
+            epoch=epoch,
+            key=(pool_ref.name, obj_tag),
+            objective=objective,
+            pool=pool_ref,
         )
-    if resilience_events is not None:
-        for key, value in supervisor.events.items():
-            resilience_events[key] = resilience_events.get(key, 0) + value
+        plane_publish_s = _time.perf_counter() - publish_t0
+        events_before = dict(supervisor.events)
+        try:
+            parts = supervisor.run(
+                run_gain_chunk,
+                [(spec, lo, hi) for lo, hi in tasks],
+                fallback=lambda task: run_gain_chunk(
+                    task, _fallback_state()
+                ),
+                validate=validate_gain_chunk,
+            )
+        finally:
+            if owns_plane:
+                supervisor.shutdown()
+                plane.close()
+        events = {
+            key: value - events_before.get(key, 0)
+            for key, value in supervisor.events.items()
+        }
+    else:
+        if session is not None:
+            session_label = "cold"  # pickle-plane sessions never warm
+        payload = build_greedy_payload(graph, objective, scope)
+        supervisor = PoolSupervisor(
+            workers=workers,
+            initializer=init_greedy_worker,
+            initargs=(payload,),
+            config=SupervisorConfig(
+                timeout=timeout, max_retries=max_retries
+            ),
+            fault_plan=fault_plan,
+            mp_context=pool_context(),
+        )
+        with supervisor:
+            parts = supervisor.run(
+                run_gain_chunk,
+                tasks,
+                fallback=lambda task: run_gain_chunk(
+                    task, _fallback_state()
+                ),
+                validate=validate_gain_chunk,
+            )
+        events = supervisor.events
+    if extra is not None:
+        for key, value in events.items():
+            extra[key] = extra.get(key, 0) + value
+        extra["data_plane"] = data_plane
+        if session_label is not None:
+            extra["parallel_session"] = session_label
+        if plane_publish_s is not None:
+            extra["plane_publish_s"] = plane_publish_s
     gains: list[float] = []
     for part in parts:
         gains.extend(part)
@@ -132,6 +227,8 @@ def lazy_greedy_maximize(
     max_retries: int = 2,
     fault_plan=None,
     counters=None,
+    data_plane: str = "auto",
+    session=None,
 ) -> GreedyResult:
     """CELF-style greedy maximization; output equals ``greedy_maximize``.
 
@@ -153,12 +250,72 @@ def lazy_greedy_maximize(
     counters:
         Optional :class:`~repro.core.counters.SkylineCounters`; a
         pooled round 0 records its recovery events under
-        ``counters.extra["resilience_*"]``.
+        ``counters.extra["resilience_*"]`` and data-plane facts under
+        ``counters.extra["data_plane"]`` etc.
+    data_plane:
+        How the CSR snapshot and candidate pool reach round-0 workers
+        — ``"pickle"``, ``"shm"`` or ``"auto"``, exactly as in
+        :func:`~repro.parallel.engine.parallel_refine_sky`.  Gains are
+        bitwise identical on either plane.
+    session:
+        A warm :class:`~repro.parallel.session.EngineSession` for this
+        graph; the round-0 fan-out reuses its pool and published
+        segments.  The session's scheduling knobs are authoritative —
+        conflicting per-call values raise
+        :class:`~repro.errors.ParameterError` (``workers=1``, this
+        driver's default, defers to the session's count).
     """
     from repro.parallel.params import validate_pool_params
+    from repro.parallel.shm import resolve_data_plane
 
     if k < 0:
         raise ParameterError(f"group size k must be >= 0, got {k}")
+    if session is not None:
+        session.check_open()
+        if session.graph is not graph:
+            raise ParameterError(
+                "this EngineSession was created for a different graph; "
+                "sessions pin one published graph snapshot"
+            )
+        if workers == 1:
+            workers = session.workers
+        elif workers != session.workers:
+            raise ParameterError(
+                f"workers={workers} conflicts with the session's "
+                f"{session.workers}; the pool size is fixed at session "
+                "construction"
+            )
+        if fault_plan is not None:
+            raise ParameterError(
+                "fault_plan is fixed at session construction; pass it "
+                "to EngineSession instead"
+            )
+        fault_plan = session.fault_plan
+        if timeout is not None and timeout != session.timeout:
+            raise ParameterError(
+                f"timeout={timeout} conflicts with the session's "
+                f"{session.timeout}; the supervisor config is fixed at "
+                "session construction"
+            )
+        timeout = session.timeout
+        if max_retries not in (session.max_retries, 2):
+            raise ParameterError(
+                f"max_retries={max_retries} conflicts with the "
+                f"session's {session.max_retries}"
+            )
+        max_retries = session.max_retries
+        if chunk_size is None:
+            chunk_size = session.chunk_size
+        if data_plane != "auto":
+            resolved, _ = resolve_data_plane(data_plane)
+            if resolved != session.data_plane:
+                raise ParameterError(
+                    f"data_plane={data_plane!r} conflicts with the "
+                    f"session's {session.data_plane!r}"
+                )
+        effective_plane = session.data_plane
+    else:
+        effective_plane, _ = resolve_data_plane(data_plane)
     validate_pool_params(
         workers=workers,
         chunk_size=chunk_size,
@@ -217,6 +374,8 @@ def lazy_greedy_maximize(
                     max_retries,
                     fault_plan,
                     None if counters is None else counters.extra,
+                    data_plane=effective_plane,
+                    session=session,
                 )
                 # max() keeps the first maximum: smallest-ID tie-break.
                 best_idx = max(
@@ -293,6 +452,8 @@ def run_greedy(
     max_retries: int = 2,
     fault_plan=None,
     counters=None,
+    data_plane: str = "auto",
+    session=None,
 ) -> GreedyResult:
     """Strategy dispatcher shared by the Base*/NeiSky* entry points.
 
@@ -300,14 +461,20 @@ def run_greedy(
     CELF engine (identical output).  ``workers`` applies only to the
     lazy strategy's round-0 fan-out — combining it with eager is
     rejected rather than silently ignored — and ``timeout`` /
-    ``max_retries`` / ``fault_plan`` / ``counters`` configure that
-    fan-out's supervisor (see :func:`lazy_greedy_maximize`).
+    ``max_retries`` / ``fault_plan`` / ``counters`` / ``data_plane`` /
+    ``session`` configure that fan-out's supervisor and data plane
+    (see :func:`lazy_greedy_maximize`).
     """
     if strategy == "eager":
         if workers != 1:
             raise ParameterError(
                 "workers apply to the lazy strategy; eager greedy is "
                 "sequential by definition"
+            )
+        if session is not None:
+            raise ParameterError(
+                "sessions drive the pooled lazy engine; eager greedy "
+                "is sequential by definition"
             )
         return greedy_maximize(graph, k, objective, candidates=candidates)
     if strategy != "lazy":
@@ -326,4 +493,6 @@ def run_greedy(
         max_retries=max_retries,
         fault_plan=fault_plan,
         counters=counters,
+        data_plane=data_plane,
+        session=session,
     )

@@ -80,6 +80,18 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
             "budget, recomputed in-process (default: supervisor's)"
         ),
     )
+    parser.add_argument(
+        "--data-plane",
+        default="auto",
+        choices=("auto", "shm", "pickle"),
+        help=(
+            "how graph data reaches pooled workers: shm publishes "
+            "shared-memory segments workers attach zero-copy, pickle "
+            "ships a payload per process; auto (default) prefers shm "
+            "and falls back to pickle when shared memory or numpy is "
+            "unavailable — identical results either way"
+        ),
+    )
 
 
 def _validated_workers(args: argparse.Namespace) -> int:
@@ -105,7 +117,12 @@ def _parallel_skyline(
             "--workers accelerates the skyline computation; it cannot be "
             "combined with --no-skyline"
         )
-    return parallel_refine_sky(graph, workers=workers, timeout=args.timeout)
+    return parallel_refine_sky(
+        graph,
+        workers=workers,
+        timeout=args.timeout,
+        data_plane=getattr(args, "data_plane", "auto"),
+    )
 
 
 def _load_graph(args: argparse.Namespace) -> Graph:
@@ -128,9 +145,13 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
 
 
 def _skyline_dispatch(
-    algorithm: str, workers: int, timeout: Optional[float]
+    algorithm: str,
+    workers: int,
+    timeout: Optional[float],
+    data_plane: str = "auto",
 ) -> tuple[str, dict]:
-    """Resolve ``--workers``/``--timeout`` into (algorithm, options).
+    """Resolve ``--workers``/``--timeout``/``--data-plane`` into
+    (algorithm, options).
 
     Shared by ``skyline`` and ``sweep``: ``workers > 1`` reroutes the
     filter_refine family through the supervised parallel engine.
@@ -138,6 +159,7 @@ def _skyline_dispatch(
     options: dict = {}
     if algorithm == "filter_refine_parallel":
         options["workers"] = workers
+        options["data_plane"] = data_plane
         if timeout is not None:
             options["timeout"] = timeout
     elif workers != 1:
@@ -151,6 +173,7 @@ def _skyline_dispatch(
             )
         algorithm = "filter_refine_parallel"
         options["workers"] = workers
+        options["data_plane"] = data_plane
         if timeout is not None:
             options["timeout"] = timeout
     return algorithm, options
@@ -161,7 +184,7 @@ def _cmd_skyline(args: argparse.Namespace) -> int:
     counters = SkylineCounters() if args.stats else None
     workers = _validated_workers(args)
     algorithm, options = _skyline_dispatch(
-        args.algorithm, workers, args.timeout
+        args.algorithm, workers, args.timeout, args.data_plane
     )
     start = time.perf_counter()
     result = neighborhood_skyline(
@@ -198,34 +221,49 @@ def _cmd_group(args: argparse.Namespace) -> int:
     workers = _validated_workers(args)
     lazy = args.strategy == "lazy"
     # --workers accelerates the skyline precompute (parallel refine
-    # engine) and, under --strategy lazy, the first greedy round too.
+    # engine) and, under --strategy lazy, the first greedy round too —
+    # both on ONE warm EngineSession, so the pool is forked and the
+    # graph published once for the whole command.
     precomputed: Optional[SkylineResult] = None
+    session = None
     if workers > 1:
-        if not args.no_skyline:
-            precomputed = parallel_refine_sky(
-                graph, workers=workers, timeout=args.timeout
-            )
-        elif not lazy:
+        if args.no_skyline and not lazy:
             raise ParameterError(
                 "--workers accelerates the skyline computation and the "
                 "lazy strategy's first greedy round; with --no-skyline "
                 "it requires --strategy lazy"
             )
-    if args.measure == "closeness":
-        run = base_gc if args.no_skyline else neisky_gc
-    else:
-        run = base_gh if args.no_skyline else neisky_gh
-    options = {
-        "strategy": args.strategy,
-        "workers": workers if lazy else 1,
-    }
-    if lazy and args.timeout is not None:
-        options["timeout"] = args.timeout
-    if precomputed is not None:
-        options["skyline"] = precomputed.skyline
-    start = time.perf_counter()
-    result = run(graph, args.k, **options)
-    elapsed = time.perf_counter() - start
+        from repro.parallel import EngineSession
+
+        session = EngineSession(
+            graph,
+            workers=workers,
+            timeout=args.timeout,
+            data_plane=args.data_plane,
+        )
+    try:
+        if session is not None and not args.no_skyline:
+            precomputed = session.refine_sky()
+        if args.measure == "closeness":
+            run = base_gc if args.no_skyline else neisky_gc
+        else:
+            run = base_gh if args.no_skyline else neisky_gh
+        options = {
+            "strategy": args.strategy,
+            "workers": workers if lazy else 1,
+        }
+        if lazy and session is not None:
+            options["session"] = session
+        elif lazy and args.timeout is not None:
+            options["timeout"] = args.timeout
+        if precomputed is not None:
+            options["skyline"] = precomputed.skyline
+        start = time.perf_counter()
+        result = run(graph, args.k, **options)
+        elapsed = time.perf_counter() - start
+    finally:
+        if session is not None:
+            session.close()
     label = "Base" if args.no_skyline else "NeiSky"
     saved = (
         f", {result.evaluations_saved} saved by laziness" if lazy else ""
@@ -293,36 +331,57 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     resumed = 0
     for dataset in datasets:
         graph = load(dataset)
-        for algorithm in algorithms:
-            run_algorithm, options = _skyline_dispatch(
-                algorithm, workers, args.timeout
-            )
-            for trial in range(args.trials):
-                cell = (
-                    journal.get(dataset, algorithm, trial)
-                    if journal is not None and args.resume
-                    else None
+        # One warm session per dataset: every parallel cell (across
+        # algorithms AND trials) reuses the same pool and published
+        # graph segments instead of re-forking per cell.
+        session = None
+        try:
+            for algorithm in algorithms:
+                run_algorithm, options = _skyline_dispatch(
+                    algorithm, workers, args.timeout, args.data_plane
                 )
-                if cell is not None:
-                    resumed += 1
-                    size = cell.get("extra", {}).get("skyline_size")
-                    wall = cell.get("wall_s", 0.0)
-                else:
-                    start = time.perf_counter()
-                    result = neighborhood_skyline(
-                        graph, algorithm=run_algorithm, **options
-                    )
-                    wall = time.perf_counter() - start
-                    size = result.size
-                    if journal is not None:
-                        journal.mark_done(
-                            dataset,
-                            algorithm,
-                            trial,
-                            wall_s=wall,
-                            skyline_size=size,
+                if run_algorithm == "filter_refine_parallel":
+                    if session is None:
+                        from repro.parallel import EngineSession
+
+                        session = EngineSession(
+                            graph,
+                            workers=options["workers"],
+                            timeout=args.timeout,
+                            data_plane=args.data_plane,
                         )
-                rows.append((dataset, algorithm, trial, size, f"{wall:.3f}"))
+                    options["session"] = session
+                for trial in range(args.trials):
+                    cell = (
+                        journal.get(dataset, algorithm, trial)
+                        if journal is not None and args.resume
+                        else None
+                    )
+                    if cell is not None:
+                        resumed += 1
+                        size = cell.get("extra", {}).get("skyline_size")
+                        wall = cell.get("wall_s", 0.0)
+                    else:
+                        start = time.perf_counter()
+                        result = neighborhood_skyline(
+                            graph, algorithm=run_algorithm, **options
+                        )
+                        wall = time.perf_counter() - start
+                        size = result.size
+                        if journal is not None:
+                            journal.mark_done(
+                                dataset,
+                                algorithm,
+                                trial,
+                                wall_s=wall,
+                                skyline_size=size,
+                            )
+                    rows.append(
+                        (dataset, algorithm, trial, size, f"{wall:.3f}")
+                    )
+        finally:
+            if session is not None:
+                session.close()
 
     print(
         format_table(

@@ -26,6 +26,7 @@ __all__ = [
     "neighborhood_skyline",
     "neighborhood_candidates",
     "group_centrality_maximize",
+    "engine_session",
     "ALGORITHMS",
 ]
 
@@ -102,6 +103,30 @@ def neighborhood_skyline(
     return impl(graph, counters=counters, **options)
 
 
+def engine_session(graph: Graph, **options):
+    """A warm :class:`~repro.parallel.session.EngineSession` for ``graph``.
+
+    The session owns one worker pool and (on the shared-memory data
+    plane) one published CSR snapshot; repeated
+    ``session.refine_sky(...)`` / ``session.greedy_maximize(...)``
+    calls — or explicit ``session=`` passes to the pooled engines —
+    reuse both, so only the first call pays fork + publish.  Use as a
+    context manager, or call ``close()`` yourself:
+
+        with engine_session(graph, workers=4) as session:
+            sky = session.refine_sky()
+            grp = session.greedy_maximize(8, objective)
+
+    ``options`` are :class:`EngineSession`'s keywords (``workers``,
+    ``data_plane``, ``chunk_size``, ``timeout``, ``max_retries``,
+    ``fault_plan``, ``seed``).  Imported lazily for the same
+    import-cycle reason as :func:`_parallel_refine_sky`.
+    """
+    from repro.parallel.session import EngineSession
+
+    return EngineSession(graph, **options)
+
+
 def neighborhood_candidates(
     graph: Graph, *, counters: Optional[SkylineCounters] = None
 ) -> tuple[int, ...]:
@@ -120,6 +145,8 @@ def group_centrality_maximize(
     strategy: str = "eager",
     workers: int = 1,
     timeout: Optional[float] = None,
+    data_plane: str = "auto",
+    session=None,
 ):
     """One-call dispatcher for the Sec. IV group-centrality applications.
 
@@ -147,6 +174,11 @@ def group_centrality_maximize(
         Per-chunk deadline (seconds) of the round-0 pool's supervisor;
         ``None`` uses the supervisor default.  Recovery never changes
         the result.
+    data_plane / session:
+        Data plane for the round-0 fan-out and an optional warm
+        :func:`engine_session` to run it on — see
+        :func:`~repro.parallel.engine.parallel_refine_sky` for the
+        plane semantics.  Identical output either way.
 
     Returns a :class:`~repro.centrality.greedy.GreedyResult`.  Imported
     lazily: :mod:`repro.centrality` itself imports core modules.
@@ -170,7 +202,13 @@ def group_centrality_maximize(
         )
     if not use_skyline:
         return base_run(
-            graph, k, strategy=strategy, workers=workers, timeout=timeout
+            graph,
+            k,
+            strategy=strategy,
+            workers=workers,
+            timeout=timeout,
+            data_plane=data_plane,
+            session=session,
         )
     return sky_run(
         graph,
@@ -179,4 +217,6 @@ def group_centrality_maximize(
         strategy=strategy,
         workers=workers,
         timeout=timeout,
+        data_plane=data_plane,
+        session=session,
     )

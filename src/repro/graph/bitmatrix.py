@@ -152,17 +152,32 @@ class CandidateBitMatrix:
         The row data is wrapped in a read-only ``np.frombuffer`` view —
         workers rebuild *views*, never re-pack rows.
         """
+        num_vertices, vertices, raw = payload
+        return cls.from_buffer(num_vertices, vertices, raw)
+
+    @classmethod
+    def from_buffer(
+        cls, num_vertices: int, vertices: Sequence[int], raw
+    ) -> "CandidateBitMatrix":
+        """Wrap any buffer of packed row words, zero-copy.
+
+        ``raw`` may be ``bytes`` (a pickled payload) or a live
+        :class:`memoryview` over a shared-memory segment
+        (:func:`repro.parallel.shm.attach_view`) — either way the rows
+        are ``np.frombuffer`` views and the caller's buffer must outlive
+        the matrix.
+        """
         if not HAVE_NUMPY:
             raise ParameterError(
                 "CandidateBitMatrix requires numpy; gate on "
                 "repro.graph.bitmatrix.HAVE_NUMPY before building"
             )
-        num_vertices, vertices, raw = payload
         verts = tuple(vertices)
         words = words_for_vertices(num_vertices)
-        if len(raw) != len(verts) * words * 8:
+        nbytes = memoryview(raw).nbytes
+        if nbytes != len(verts) * words * 8:
             raise ParameterError(
-                f"bit-matrix payload holds {len(raw)} bytes; expected "
+                f"bit-matrix payload holds {nbytes} bytes; expected "
                 f"{len(verts) * words * 8} for {len(verts)} rows of "
                 f"{words} words"
             )

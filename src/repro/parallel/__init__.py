@@ -7,6 +7,12 @@ skyline refine phase; it is registered as
 ``--workers`` flag.  :mod:`repro.parallel.greedy_worker` is the worker
 side of the lazy greedy engine's round-0 fan-out
 (:func:`repro.centrality.lazy_greedy.lazy_greedy_maximize`).
+
+Graph-scale data reaches workers over one of two data planes: the
+classic pickle payload, or named shared-memory segments
+(:mod:`repro.parallel.shm`) that workers attach zero-copy.
+:class:`~repro.parallel.session.EngineSession` keeps one pool plus the
+published segments warm across many calls on the same graph.
 """
 
 from repro.parallel.chunks import chunk_ranges, default_chunk_size
@@ -21,6 +27,16 @@ from repro.parallel.greedy_worker import (
     run_gain_chunk,
 )
 from repro.parallel.params import validate_pool_params
+from repro.parallel.session import EngineSession
+from repro.parallel.shm import (
+    HAVE_SHM,
+    SegmentRef,
+    ShmDataPlane,
+    attach_view,
+    live_segment_names,
+    resolve_data_plane,
+    shm_available,
+)
 from repro.parallel.supervisor import (
     DEFAULT_MAX_RETRIES,
     DEFAULT_TIMEOUT,
@@ -31,15 +47,23 @@ from repro.parallel.supervisor import (
 __all__ = [
     "DEFAULT_MAX_RETRIES",
     "DEFAULT_TIMEOUT",
+    "HAVE_SHM",
     "SMALL_GRAPH_EDGES",
+    "EngineSession",
     "PoolSupervisor",
+    "SegmentRef",
+    "ShmDataPlane",
     "SupervisorConfig",
+    "attach_view",
     "chunk_ranges",
     "default_chunk_size",
     "default_worker_count",
+    "live_segment_names",
     "parallel_refine_sky",
     "build_greedy_payload",
     "init_greedy_worker",
+    "resolve_data_plane",
     "run_gain_chunk",
+    "shm_available",
     "validate_pool_params",
 ]

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from array import array
 from typing import Optional
 
@@ -48,12 +49,14 @@ from repro.graph.bitmatrix import (
 )
 from repro.parallel.chunks import chunk_ranges, default_chunk_size
 from repro.parallel.params import validate_pool_params
+from repro.parallel.shm import ShmDataPlane, resolve_data_plane
 from repro.parallel.supervisor import (
     DEFAULT_MAX_RETRIES,
     PoolSupervisor,
     SupervisorConfig,
 )
 from repro.parallel.worker import (
+    RefineSpec,
     build_payload,
     build_state,
     init_worker,
@@ -106,6 +109,8 @@ def parallel_refine_sky(
     timeout: Optional[float] = None,
     max_retries: int = DEFAULT_MAX_RETRIES,
     fault_plan: Optional[FaultPlan] = None,
+    data_plane: str = "auto",
+    session=None,
 ) -> SkylineResult:
     """Compute the neighborhood skyline with a parallel refine phase.
 
@@ -166,11 +171,31 @@ def parallel_refine_sky(
         (:class:`~repro.harness.faults.FaultPlan`); ``None`` (the
         default, and the only sane production value) injects nothing.
         Ignored on the in-process path, which has no workers to break.
+    data_plane:
+        How graph-scale data reaches the workers.  ``"pickle"`` ships a
+        payload per process through the pool initializer (the classic
+        plane).  ``"shm"`` publishes the CSR arrays, candidate ids and
+        bit-matrix words as named shared-memory segments
+        (:mod:`repro.parallel.shm`); workers attach zero-copy and
+        rebuild only per-process scratch (the bloom index / traversal
+        workspace).  ``"auto"`` (the default) picks shm when
+        :mod:`multiprocessing.shared_memory` and numpy are both usable
+        and falls back to pickle otherwise — the resolved plane and any
+        fallback reason land in ``counters.extra["data_plane"]`` /
+        ``["data_plane_fallback_reason"]``.  Both planes are bit-for-bit
+        identical in results.
+    session:
+        A warm :class:`~repro.parallel.session.EngineSession` for this
+        same graph: the call reuses its pool and published segments
+        instead of forking/publishing per call.  The session's
+        scheduling knobs (``workers`` / ``timeout`` / ``max_retries`` /
+        ``fault_plan``) are authoritative; passing a conflicting value
+        here raises :class:`~repro.errors.ParameterError`.
 
     The result's ``skyline``/``dominator``/``candidates`` are identical
-    to the sequential ``filter_refine_sky`` for any worker count — and,
-    with supervision, for any combination of worker crashes, hangs and
-    corrupt payloads.
+    to the sequential ``filter_refine_sky`` for any worker count, either
+    data plane, with or without a session — and, with supervision, for
+    any combination of worker crashes, hangs and corrupt payloads.
     """
     if not exact:
         raise ParameterError(
@@ -188,6 +213,56 @@ def parallel_refine_sky(
         raise ParameterError(
             f"word_budget must be >= 0, got {word_budget}"
         )
+    if session is not None:
+        session.check_open()
+        if session.graph is not graph:
+            raise ParameterError(
+                "this EngineSession was created for a different graph; "
+                "sessions pin one published graph snapshot"
+            )
+        if workers is None:
+            workers = session.workers
+        elif workers != session.workers:
+            raise ParameterError(
+                f"workers={workers} conflicts with the session's "
+                f"{session.workers}; the pool size is fixed at session "
+                "construction"
+            )
+        if fault_plan is not None:
+            raise ParameterError(
+                "fault_plan is fixed at session construction; pass it "
+                "to EngineSession instead"
+            )
+        fault_plan = session.fault_plan
+        if timeout is not None and timeout != session.timeout:
+            raise ParameterError(
+                f"timeout={timeout} conflicts with the session's "
+                f"{session.timeout}; the supervisor config is fixed at "
+                "session construction"
+            )
+        timeout = session.timeout
+        if max_retries not in (session.max_retries, DEFAULT_MAX_RETRIES):
+            raise ParameterError(
+                f"max_retries={max_retries} conflicts with the "
+                f"session's {session.max_retries}"
+            )
+        max_retries = session.max_retries
+        if chunk_size is None:
+            chunk_size = session.chunk_size
+        if data_plane == "auto":
+            effective_plane = session.data_plane
+            plane_reason = session.plane_fallback_reason
+        else:
+            resolved, _ = resolve_data_plane(data_plane)
+            if resolved != session.data_plane:
+                raise ParameterError(
+                    f"data_plane={data_plane!r} conflicts with the "
+                    f"session's {session.data_plane!r}"
+                )
+            effective_plane = session.data_plane
+            plane_reason = session.plane_fallback_reason
+    else:
+        effective_plane, plane_reason = resolve_data_plane(data_plane)
     if workers is None:
         workers = default_worker_count()
     validate_pool_params(
@@ -233,21 +308,15 @@ def parallel_refine_sky(
 
     chunk_dicts: list[dict] = []
     resilience_events: Optional[dict[str, int]] = None
+    session_label: Optional[str] = None
+    plane_publish_s: Optional[float] = None
     if use_pool:
-        payload = build_payload(
-            graph,
-            candidates,
-            dominator,
-            bits=bits,
-            seed=seed,
-            refine=effective_refine,
-            matrix=matrix,
-        )
-
         # The guaranteed sequential fallback: an in-process RefineState
         # built lazily, only if a chunk actually exhausts its retries.
         # Scans are pure functions of frozen state, so recomputing any
-        # chunk here yields exactly the value the worker would have.
+        # chunk here yields exactly the value the worker would have —
+        # on either data plane (the chunk runners attach any segment
+        # refs in their tasks themselves, parent-side too).
         _fb: list = []
 
         def _fallback_state():
@@ -265,48 +334,177 @@ def parallel_refine_sky(
                 )
             return _fb[0]
 
-        supervisor = PoolSupervisor(
-            workers=workers,
-            initializer=init_worker,
-            initargs=(payload,),
-            config=SupervisorConfig(
-                timeout=timeout, max_retries=max_retries, seed=seed
-            ),
-            fault_plan=fault_plan,
-            mp_context=_pool_context(),
-        )
-        # Context management guarantees terminate()/join() on *every*
-        # exit path — a chunk raising mid-iteration, RecoveryError,
-        # Ctrl-C — so no child process ever outlives the engine call.
-        with supervisor:
-            dominated: list[int] = []
-            for part, stats in supervisor.run(
-                run_status_chunk,
-                status_tasks,
-                fallback=lambda task: run_status_chunk(
-                    task, _fallback_state()
+        if effective_plane == "shm":
+            # Shared-memory plane: the graph CSR lives in named
+            # segments workers attach zero-copy; call-scoped data
+            # (candidates, dominators, matrix words) ships the same
+            # way, so each task is a few-hundred-byte spec.
+            owns_plane = session is None
+            publish_t0 = time.perf_counter()
+            if owns_plane:
+                plane = ShmDataPlane()
+                indptr, indices = graph.to_csr()
+                graph_refs = {
+                    "indptr": plane.publish(indptr, "q"),
+                    "indices": plane.publish(indices, "q"),
+                }
+                supervisor = PoolSupervisor(
+                    workers=workers,
+                    initializer=init_worker,
+                    initargs=(("shm", graph_refs),),
+                    config=SupervisorConfig(
+                        timeout=timeout, max_retries=max_retries, seed=seed
+                    ),
+                    fault_plan=fault_plan,
+                    mp_context=_pool_context(),
+                )
+                cand_ref = plane.publish(array("q", candidates), "q")
+                dom_ref = plane.publish(array("q", dominator), "q")
+                matrix_ref = (
+                    plane.publish(matrix.rows, "B")
+                    if matrix is not None
+                    else None
+                )
+                epoch = 1
+            else:
+                plane = session.plane
+                supervisor = session.supervisor()
+                session_label = session.note_pooled_call()
+                cand_ref = session.cached_segment(
+                    "cand", array("q", candidates), "q"
+                )
+                dom_ref = session.cached_segment(
+                    "dom", array("q", dominator), "q"
+                )
+                matrix_ref = (
+                    session.cached_segment("matrix", matrix.rows, "B")
+                    if matrix is not None
+                    else None
+                )
+                epoch = session.next_epoch()
+            spec = RefineSpec(
+                epoch=epoch,
+                key=(
+                    effective_refine,
+                    bits,
+                    seed,
+                    cand_ref.name,
+                    dom_ref.name,
+                    matrix_ref.name if matrix_ref is not None else None,
                 ),
-                validate=validate_status_chunk,
-            ):
-                dominated.extend(part)
-                chunk_dicts.append(stats)
-            blob = array("q", dominated)
-            witness_tasks = [
-                (lo, hi, blob)
-                for lo, hi in chunk_ranges(len(dominated), size)
-            ]
-            witness_pairs: list[tuple[int, int]] = []
-            for part, stats in supervisor.run(
-                run_witness_chunk,
-                witness_tasks,
-                fallback=lambda task: run_witness_chunk(
-                    task, _fallback_state()
+                refine=effective_refine,
+                bits=bits,
+                seed=seed,
+                candidates=cand_ref,
+                dominator=dom_ref,
+                matrix=matrix_ref,
+            )
+            plane_publish_s = time.perf_counter() - publish_t0
+            # A session supervisor accumulates events across calls;
+            # this call's resilience tally is the delta.
+            events_before = dict(supervisor.events)
+            dom_blob_ref = None
+            try:
+                dominated: list[int] = []
+                for part, stats in supervisor.run(
+                    run_status_chunk,
+                    [(spec, lo, hi) for lo, hi in status_tasks],
+                    fallback=lambda task: run_status_chunk(
+                        task, _fallback_state()
+                    ),
+                    validate=validate_status_chunk,
+                ):
+                    dominated.extend(part)
+                    chunk_dicts.append(stats)
+                # The dominated list is born here, between the passes —
+                # always a fresh per-call segment, never cached.
+                dom_blob_ref = plane.publish(array("q", dominated), "q")
+                witness_tasks = [
+                    (spec, lo, hi, dom_blob_ref)
+                    for lo, hi in chunk_ranges(len(dominated), size)
+                ]
+                witness_pairs: list[tuple[int, int]] = []
+                for part, stats in supervisor.run(
+                    run_witness_chunk,
+                    witness_tasks,
+                    fallback=lambda task: run_witness_chunk(
+                        task, _fallback_state()
+                    ),
+                    validate=validate_witness_chunk,
+                ):
+                    witness_pairs.extend(part)
+                    chunk_dicts.append(stats)
+            finally:
+                if owns_plane:
+                    # One-shot call: tear down pool and segments on
+                    # every exit path (RecoveryError, Ctrl-C, ...).
+                    supervisor.shutdown()
+                    plane.close()
+                elif dom_blob_ref is not None:
+                    # Session call: pool and cached segments stay warm;
+                    # only the per-call dominated blob is retired.
+                    plane.unlink_one(dom_blob_ref)
+            resilience_events = {
+                key: value - events_before.get(key, 0)
+                for key, value in supervisor.events.items()
+            }
+        else:
+            if session is not None:
+                # Pickle-plane sessions centralize the knobs but cannot
+                # keep workers warm (nothing to re-attach): every call
+                # ships a fresh payload through a fresh pool.
+                session_label = "cold"
+            payload = build_payload(
+                graph,
+                candidates,
+                dominator,
+                bits=bits,
+                seed=seed,
+                refine=effective_refine,
+                matrix=matrix,
+            )
+            supervisor = PoolSupervisor(
+                workers=workers,
+                initializer=init_worker,
+                initargs=(payload,),
+                config=SupervisorConfig(
+                    timeout=timeout, max_retries=max_retries, seed=seed
                 ),
-                validate=validate_witness_chunk,
-            ):
-                witness_pairs.extend(part)
-                chunk_dicts.append(stats)
-        resilience_events = supervisor.events
+                fault_plan=fault_plan,
+                mp_context=_pool_context(),
+            )
+            # Context management guarantees terminate()/join() on *every*
+            # exit path — a chunk raising mid-iteration, RecoveryError,
+            # Ctrl-C — so no child process ever outlives the engine call.
+            with supervisor:
+                dominated = []
+                for part, stats in supervisor.run(
+                    run_status_chunk,
+                    status_tasks,
+                    fallback=lambda task: run_status_chunk(
+                        task, _fallback_state()
+                    ),
+                    validate=validate_status_chunk,
+                ):
+                    dominated.extend(part)
+                    chunk_dicts.append(stats)
+                blob = array("q", dominated)
+                witness_tasks = [
+                    (lo, hi, blob)
+                    for lo, hi in chunk_ranges(len(dominated), size)
+                ]
+                witness_pairs = []
+                for part, stats in supervisor.run(
+                    run_witness_chunk,
+                    witness_tasks,
+                    fallback=lambda task: run_witness_chunk(
+                        task, _fallback_state()
+                    ),
+                    validate=validate_witness_chunk,
+                ):
+                    witness_pairs.extend(part)
+                    chunk_dicts.append(stats)
+            resilience_events = supervisor.events
     else:
         state = build_state(
             graph,
@@ -339,6 +537,14 @@ def parallel_refine_sky(
         counters.extra["parallel_workers"] = workers
         counters.extra["parallel_chunks"] = len(status_tasks)
         counters.extra["parallel_rescans"] = len(dominated)
+        if use_pool:
+            counters.extra["data_plane"] = effective_plane
+            if plane_reason is not None:
+                counters.extra["data_plane_fallback_reason"] = plane_reason
+            if session_label is not None:
+                counters.extra["parallel_session"] = session_label
+            if plane_publish_s is not None:
+                counters.extra["plane_publish_s"] = plane_publish_s
         if resilience_events is not None:
             for key, value in resilience_events.items():
                 counters.extra[key] = counters.extra.get(key, 0) + value

@@ -9,25 +9,39 @@ payload shipped once per process via the pool initializer, module-level
 state rebuilt from it, and a chunk entry point mapped over index ranges
 of the candidate pool.
 
+Two data planes, as in the refine worker:
+
+* **pickle** — :func:`build_greedy_payload` ships CSR rows + pool +
+  objective per process; the initializer rebuilds everything.
+* **shm** — the initializer gets ``("shm", {"indptr", "indices"})``
+  refs, attaches the CSR segments (:mod:`repro.parallel.shm`), and
+  builds the :class:`~repro.paths.csr.CSRTraversal` workspace lazily,
+  once per process lifetime; the pool and objective arrive per call in
+  a :class:`GreedySpec` riding inside each task.
+
 Gains come back as ``array('d')`` blobs in pool order.  Workers run the
 same :class:`~repro.paths.csr.CSRTraversal` kernels as the in-process
 engine on the same CSR snapshot, so the floats they return are bitwise
-identical to an in-process round 0 for any worker count or chunking —
-the lazy engine's exactness argument never has to mention the pool.
+identical to an in-process round 0 for any worker count, chunking or
+data plane — the lazy engine's exactness argument never has to mention
+the pool.
 
-The objective rides along inside the payload, so it must pickle; the
-bundled objectives (plain module-level classes holding scalars) all do.
+The objective rides along inside the payload (or spec), so it must
+pickle; the bundled objectives (plain module-level classes holding
+scalars) all do.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 from array import array
-from typing import Optional
+from typing import NamedTuple, Optional
 
+from repro.parallel.shm import SegmentRef, attach_view, release_attachments
 from repro.paths.csr import CSRTraversal, make_evaluator
 
 __all__ = [
+    "GreedySpec",
     "build_greedy_payload",
     "build_greedy_state",
     "init_greedy_worker",
@@ -35,6 +49,21 @@ __all__ = [
     "run_gain_chunk",
     "validate_gain_chunk",
 ]
+
+
+class GreedySpec(NamedTuple):
+    """Per-call round-0 parameters for shared-memory dispatch.
+
+    ``pool`` names the candidate-scope segment; the objective (scalars
+    only for the bundled ones) pickles inline.  ``key`` keys the
+    worker-side state cache, as in :class:`~repro.parallel.worker.
+    RefineSpec`.
+    """
+
+    epoch: int
+    key: tuple
+    objective: object
+    pool: SegmentRef
 
 
 def pool_context():
@@ -65,21 +94,77 @@ def build_greedy_state(payload: tuple) -> tuple:
     return (pool, evaluate, current)
 
 
-#: Worker-process state, populated by :func:`init_greedy_worker`.
+#: Worker-process state, populated by :func:`init_greedy_worker`
+#: (pickle plane).
 _STATE: Optional[tuple] = None
+
+#: Attached ``(indptr, indices)`` views (shm plane); the traversal
+#: workspace is built from them lazily, once, on the first spec task.
+_CSR: Optional[tuple] = None
+
+#: Lazily built ``(CSRTraversal, current)`` pair shared by every call —
+#: ``current`` is the all--1 round-0 distance vector, never mutated by
+#: ``collect=False`` evaluation.
+_TRAV: Optional[tuple] = None
+
+#: Last materialized :class:`GreedySpec` state:
+#: ``{"key", "state", "names"}``, as in :mod:`repro.parallel.worker`.
+_CALL: Optional[dict] = None
 
 
 def init_greedy_worker(payload: tuple) -> None:
-    """Pool initializer: rebuild the CSR workspace once per process."""
-    global _STATE
+    """Pool initializer for either data plane (see module docstring)."""
+    global _STATE, _CSR, _TRAV, _CALL
+    if payload and payload[0] == "shm":
+        refs = payload[1]
+        _CSR = (attach_view(refs["indptr"]), attach_view(refs["indices"]))
+        _STATE = None
+        _TRAV = None
+        _CALL = None
+        return
     _STATE = build_greedy_state(payload)
 
 
+def _greedy_call_state(spec: GreedySpec) -> tuple:
+    """The ``(pool, evaluate, current)`` triple for ``spec``, cached."""
+    global _TRAV, _CALL
+    cached = _CALL
+    if cached is not None and cached["key"] == spec.key:
+        return cached["state"]
+    if _CSR is None:
+        raise RuntimeError(
+            "received a shared-memory task but this worker was not "
+            "initialized with a shm payload"
+        )
+    if _TRAV is None:
+        trav = CSRTraversal(_CSR[0], _CSR[1])
+        _TRAV = (trav, [-1] * trav.n)
+    trav, current = _TRAV
+    pool = attach_view(spec.pool)
+    evaluate = make_evaluator(trav, spec.objective)
+    state = (pool, evaluate, current)
+    _CALL = {"key": spec.key, "state": state, "names": {spec.pool.name}}
+    if cached is not None:
+        stale = cached["names"] - _CALL["names"]
+        cached = None
+        release_attachments(stale)
+    return state
+
+
 def run_gain_chunk(task: tuple, state: Optional[tuple] = None) -> array:
-    """Round-0 gains for pool slice ``(lo, hi)``, as an ``array('d')``."""
-    lo, hi = task
-    if state is None:
-        state = _STATE
+    """Round-0 gains for one pool slice, as an ``array('d')``.
+
+    ``task`` is ``(lo, hi)`` on the pickle plane or ``(spec, lo, hi)``
+    on the shm plane.
+    """
+    if isinstance(task[0], int):
+        lo, hi = task
+        if state is None:
+            state = _STATE
+    else:
+        spec, lo, hi = task
+        if state is None:
+            state = _greedy_call_state(spec)
     pool, evaluate, current = state
     return array(
         "d", [evaluate(u, current, False)[0] for u in pool[lo:hi]]
@@ -93,7 +178,10 @@ def validate_gain_chunk(task: tuple, result) -> bool:
     bundled objectives only produce non-negative round-0 gains, but the
     evaluator accepts arbitrary ``GainObjective`` weights.)
     """
-    lo, hi = task
+    if isinstance(task[0], int):
+        lo, hi = task
+    else:
+        lo, hi = task[1], task[2]
     if not isinstance(result, array) or result.typecode != "d":
         return False
     if len(result) != hi - lo:

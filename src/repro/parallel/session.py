@@ -1,0 +1,264 @@
+"""Warm engine sessions: one pool + one published graph, many calls.
+
+The one-shot pooled engines pay pool fork + payload ship on every call.
+For a serving loop — many skyline/greedy requests against the same
+immutable graph — that setup dwarfs the dispatch.  An
+:class:`EngineSession` amortizes it:
+
+* On the **shm plane** the session publishes the graph's CSR arrays as
+  shared-memory segments once (:class:`~repro.parallel.shm.
+  ShmDataPlane`), forks one supervised pool whose initializer merely
+  *attaches* them, and keeps both alive across calls.  Call-scoped data
+  (candidates, dominators, greedy pools) is published into digest-keyed
+  cached segments, so a repeated call ships only a spec of a few
+  hundred bytes per chunk and hits the workers' state cache outright —
+  the first call pays publish + fork, later calls pay chunk dispatch.
+* On the **pickle plane** (forced, or the automatic fallback when
+  shared memory or numpy is unavailable) the session still centralizes
+  the scheduling knobs, but every call rebuilds its own pool — warm
+  reuse requires attachable segments, and the docs say so.
+
+Sessions compose with the fault story unchanged: the pool is a
+:class:`~repro.parallel.supervisor.PoolSupervisor`, a crashed pool is
+rebuilt with the same initargs (workers re-attach by name), and the
+session's finalizing plane unlinks every segment exactly once even on
+Ctrl-C or :class:`~repro.errors.RecoveryError` unwinds.
+
+    with EngineSession(graph, workers=4) as session:
+        for request in requests:
+            result = session.refine_sky()          # warm after call 1
+            group = session.greedy_maximize(8, objective)
+
+Thread safety: none.  A session is a single-caller object, like the
+engines it fronts.
+"""
+
+from __future__ import annotations
+
+from hashlib import blake2b
+from typing import Optional
+
+from repro.errors import ParameterError
+from repro.graph.adjacency import Graph
+from repro.parallel.params import validate_pool_params
+from repro.parallel.shm import SegmentRef, ShmDataPlane, resolve_data_plane
+from repro.parallel.supervisor import (
+    DEFAULT_MAX_RETRIES,
+    PoolSupervisor,
+    SupervisorConfig,
+)
+
+__all__ = ["EngineSession"]
+
+#: Cached call-scoped segments per session.  Bounds a long-lived session
+#: serving many distinct candidate pools; eviction is oldest-first and
+#: unlinks the segment (workers still holding the old mapping keep the
+#: memory alive until they rotate their own state cache).
+_MAX_CACHED_SEGMENTS = 16
+
+
+def _session_worker_init(refine_payload, greedy_payload) -> None:
+    """Initializer of a session pool: arm *both* worker modules.
+
+    One warm pool serves refine chunks and greedy round-0 chunks alike
+    (the refine→greedy reuse pattern), so both modules attach the same
+    graph segments — the per-process attachment cache maps each name
+    once.  Module-level so it pickles under any start method.
+    """
+    from repro.parallel.greedy_worker import init_greedy_worker
+    from repro.parallel.worker import init_worker
+
+    init_worker(refine_payload)
+    init_greedy_worker(greedy_payload)
+
+
+class EngineSession:
+    """Owns a warm worker pool + published segments for one graph.
+
+    Parameters mirror the pooled engines' scheduling knobs and are
+    fixed for the session's lifetime — per-call overrides that conflict
+    raise :class:`~repro.errors.ParameterError` rather than silently
+    rebuilding the pool.
+
+    ``data_plane`` is resolved once, here: ``"auto"`` picks ``"shm"``
+    when shared memory and numpy are both usable and falls back to
+    ``"pickle"`` otherwise (the reason lands in
+    ``counters.extra["data_plane_fallback_reason"]`` of every call).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        workers: Optional[int] = None,
+        data_plane: str = "auto",
+        chunk_size: Optional[int] = None,
+        timeout: Optional[float] = None,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        fault_plan=None,
+        seed: int = 0,
+    ):
+        if workers is None:
+            from repro.parallel.engine import default_worker_count
+
+            workers = default_worker_count()
+        validate_pool_params(
+            workers=workers,
+            chunk_size=chunk_size,
+            timeout=timeout,
+            max_retries=max_retries,
+        )
+        self.graph = graph
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.fault_plan = fault_plan
+        self.seed = seed
+        self.data_plane, self.plane_fallback_reason = resolve_data_plane(
+            data_plane
+        )
+        self._plane: Optional[ShmDataPlane] = (
+            ShmDataPlane() if self.data_plane == "shm" else None
+        )
+        self._graph_refs: Optional[dict] = None
+        self._supervisor: Optional[PoolSupervisor] = None
+        self._seg_cache: dict[tuple, SegmentRef] = {}
+        self._epoch = 0
+        self._pooled_calls = 0
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def check_open(self) -> None:
+        """Raise :class:`ParameterError` on use after :meth:`close`."""
+        if self._closed:
+            raise ParameterError(
+                "this EngineSession is closed; create a new one (its "
+                "pool and shared-memory segments are gone)"
+            )
+
+    def close(self) -> None:
+        """Shut the pool down and unlink every segment.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._supervisor is not None:
+            self._supervisor.shutdown()
+            self._supervisor = None
+        self._seg_cache.clear()
+        if self._plane is not None:
+            self._plane.close()
+
+    def __enter__(self) -> "EngineSession":
+        self.check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"EngineSession(workers={self.workers}, "
+            f"data_plane={self.data_plane!r}, {state})"
+        )
+
+    # -- shm machinery (engine-facing) ---------------------------------
+    @property
+    def plane(self) -> ShmDataPlane:
+        return self._plane
+
+    def _require_shm(self) -> None:
+        if self._plane is None:
+            raise ParameterError(
+                "this EngineSession runs on the pickle plane; it has no "
+                "shared-memory segments to publish"
+            )
+
+    def graph_refs(self) -> dict:
+        """Publish the graph CSR once; return its segment refs."""
+        self.check_open()
+        self._require_shm()
+        if self._graph_refs is None:
+            indptr, indices = self.graph.to_csr()  # memoized on the graph
+            self._graph_refs = {
+                "indptr": self._plane.publish(indptr, "q"),
+                "indices": self._plane.publish(indices, "q"),
+            }
+        return self._graph_refs
+
+    def supervisor(self) -> PoolSupervisor:
+        """The warm pool supervisor (shm plane only), created on first use."""
+        self.check_open()
+        if self._supervisor is None:
+            from repro.parallel.engine import _pool_context
+
+            refs = self.graph_refs()
+            payload = ("shm", refs)
+            self._supervisor = PoolSupervisor(
+                workers=self.workers,
+                initializer=_session_worker_init,
+                initargs=(payload, payload),
+                config=SupervisorConfig(
+                    timeout=self.timeout,
+                    max_retries=self.max_retries,
+                    seed=self.seed,
+                ),
+                fault_plan=self.fault_plan,
+                mp_context=_pool_context(),
+            )
+        return self._supervisor
+
+    def cached_segment(self, kind: str, data, typecode: str) -> SegmentRef:
+        """A published segment for ``data``, deduplicated by content.
+
+        Identical content (same ``kind``/bytes) returns the *same*
+        segment ref across calls — that name stability is what lets the
+        workers' spec-keyed state cache recognize a repeated call.  The
+        cache is bounded; the oldest entry is unlinked when it overflows.
+        """
+        self.check_open()
+        self._require_shm()
+        mv = memoryview(data)
+        if mv.format != "B":
+            mv = mv.cast("B")
+        digest = blake2b(mv, digest_size=16).digest()
+        key = (kind, typecode, digest)
+        ref = self._seg_cache.get(key)
+        if ref is None:
+            ref = self._plane.publish(mv, typecode)
+            self._seg_cache[key] = ref
+            while len(self._seg_cache) > _MAX_CACHED_SEGMENTS:
+                oldest = next(iter(self._seg_cache))
+                self._plane.unlink_one(self._seg_cache.pop(oldest))
+        return ref
+
+    def next_epoch(self) -> int:
+        """A fresh per-call epoch; tags each call's specs for workers."""
+        self._epoch += 1
+        return self._epoch
+
+    def note_pooled_call(self) -> str:
+        """``"cold"`` for the session's first pooled call, ``"warm"`` after."""
+        label = "warm" if self._pooled_calls else "cold"
+        self._pooled_calls += 1
+        return label
+
+    # -- convenience entry points --------------------------------------
+    def refine_sky(self, **options):
+        """``parallel_refine_sky(graph, session=self, **options)``."""
+        from repro.parallel.engine import parallel_refine_sky
+
+        return parallel_refine_sky(self.graph, session=self, **options)
+
+    def greedy_maximize(self, k: int, objective, **options):
+        """``lazy_greedy_maximize(graph, k, objective, session=self, ...)``."""
+        from repro.centrality.lazy_greedy import lazy_greedy_maximize
+
+        return lazy_greedy_maximize(
+            self.graph, k, objective, session=self, **options
+        )

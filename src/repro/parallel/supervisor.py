@@ -197,6 +197,16 @@ class PoolSupervisor:
     def __exit__(self, exc_type, exc, tb) -> None:
         self._kill_pool(count_rebuild=False)
 
+    def shutdown(self) -> None:
+        """Terminate the pool now, without charging a rebuild event.
+
+        For owners that keep a supervisor warm across calls (an
+        :class:`~repro.parallel.session.EngineSession`) instead of
+        context-managing one per call.  Idempotent; a later :meth:`run`
+        would simply fork a fresh pool.
+        """
+        self._kill_pool(count_rebuild=False)
+
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._executor is None:
             self._executor = ProcessPoolExecutor(

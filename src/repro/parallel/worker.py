@@ -46,15 +46,17 @@ pairs the exact bloom ladder accepts.
 from __future__ import annotations
 
 from array import array
-from typing import Optional, Sequence
+from typing import NamedTuple, Optional, Sequence
 
 from repro.bloom.vertex_filters import VertexBloomIndex
 from repro.core.bitset_refine import BitsetScanContext
 from repro.core.counters import SkylineCounters
-from repro.graph.adjacency import Graph
+from repro.graph.adjacency import CSRGraphView, Graph
 from repro.graph.bitmatrix import CandidateBitMatrix
+from repro.parallel.shm import SegmentRef, attach_view, release_attachments
 
 __all__ = [
+    "RefineSpec",
     "RefineState",
     "build_payload",
     "build_state",
@@ -68,6 +70,30 @@ __all__ = [
     "validate_status_chunk",
     "validate_witness_chunk",
 ]
+
+
+class RefineSpec(NamedTuple):
+    """Per-call refine parameters, shipped inside each shm-plane task.
+
+    On the shared-memory plane the pool initializer installs only the
+    *graph* (attached CSR views, one per process lifetime); everything
+    call-scoped — candidates, filter dominators, kernel knobs, the
+    optional bit matrix — rides in this spec as :class:`~repro.parallel.
+    shm.SegmentRef` handles plus scalars, a few hundred bytes per task.
+    Workers cache the state they build from a spec under ``key`` (the
+    engine derives it from the segment names and kernel knobs), so a
+    warm session repeating a call re-uses the state outright and a new
+    call evicts exactly the previous call's attachments.
+    """
+
+    epoch: int
+    key: tuple
+    refine: str
+    bits: int
+    seed: int
+    candidates: SegmentRef
+    dominator: SegmentRef
+    matrix: Optional[SegmentRef]
 
 
 class RefineState:
@@ -161,13 +187,38 @@ def build_payload(
     )
 
 
-#: Worker-process state, populated by :func:`init_worker`.
+#: Worker-process state, populated by :func:`init_worker` (pickle plane).
 _STATE: Optional[RefineState] = None
+
+#: Worker-process graph view over attached CSR segments (shm plane).
+_GRAPH: Optional[Graph] = None
+
+#: Cache of the last :class:`RefineSpec` materialized in this process:
+#: ``{"key", "state", "names"}`` where ``names`` are the call-scoped
+#: segment attachments to release when a different spec arrives.
+_CALL: Optional[dict] = None
 
 
 def init_worker(payload: tuple) -> None:
-    """Pool initializer: rebuild graph, candidates and the kernel once."""
-    global _STATE
+    """Pool initializer for either data plane.
+
+    Pickle plane: the classic 8-field payload of :func:`build_payload`
+    — rebuild graph, candidates and the kernel once per process.  Shm
+    plane: ``("shm", {"indptr": ref, "indices": ref})`` — attach the
+    CSR segments and build a lazy :class:`~repro.graph.adjacency.
+    CSRGraphView`; per-call state arrives later inside each task's
+    :class:`RefineSpec`.  Pool rebuilds after a crash re-run this with
+    the same initargs, so a fresh worker re-attaches automatically.
+    """
+    global _STATE, _GRAPH, _CALL
+    if payload and payload[0] == "shm":
+        refs = payload[1]
+        _GRAPH = CSRGraphView(
+            attach_view(refs["indptr"]), attach_view(refs["indices"])
+        )
+        _STATE = None
+        _CALL = None
+        return
     (
         indptr,
         indices,
@@ -193,6 +244,57 @@ def init_worker(payload: tuple) -> None:
         refine=refine,
         matrix=matrix,
     )
+
+
+def _call_state(spec: RefineSpec) -> RefineState:
+    """The :class:`RefineState` for ``spec``, cached per process.
+
+    A warm session re-issuing the same call (same ``spec.key``) hits
+    the cache and pays nothing; a different call rebuilds the state
+    from freshly attached segments and releases the previous call's
+    attachments (the pinned graph segments are never in ``names``).
+    """
+    global _CALL
+    cached = _CALL
+    if cached is not None and cached["key"] == spec.key:
+        return cached["state"]
+    if _GRAPH is None:
+        raise RuntimeError(
+            "received a shared-memory task but this worker was not "
+            "initialized with a shm payload"
+        )
+    candidates = attach_view(spec.candidates)
+    dominator = attach_view(spec.dominator)
+    names = {spec.candidates.name, spec.dominator.name}
+    matrix = None
+    if spec.matrix is not None:
+        matrix = CandidateBitMatrix.from_buffer(
+            _GRAPH.num_vertices, candidates, attach_view(spec.matrix)
+        )
+        names.add(spec.matrix.name)
+    state = build_state(
+        _GRAPH,
+        candidates,
+        dominator,
+        bits=spec.bits,
+        seed=spec.seed,
+        refine=spec.refine,
+        matrix=matrix,
+    )
+    _CALL = {"key": spec.key, "state": state, "names": names}
+    if cached is not None:
+        stale = cached["names"] - names
+        cached = None  # drop the old state (and its views) first
+        release_attachments(stale)
+    return state
+
+
+def _task_bounds(task: tuple) -> tuple[int, int]:
+    """``(lo, hi)`` of a classic ``(lo, hi, ...)`` or spec-led task."""
+    first = task[0]
+    if isinstance(first, int):
+        return first, task[1]
+    return task[1], task[2]
 
 
 def scan_status(state: RefineState, u: int, stats: SkylineCounters) -> bool:
@@ -417,15 +519,19 @@ def _ensure_flags(state: RefineState, dominated: Sequence[int]) -> None:
 
 
 def run_status_chunk(task: tuple, state: Optional[RefineState] = None):
-    """Status pass over one candidate chunk ``(lo, hi)``.
+    """Status pass over one candidate chunk.
 
-    Returns ``(dominated_ids, counter_dict)``.  ``state`` defaults to
-    the worker-process state installed by :func:`init_worker`; the
-    engine passes its own when running in-process.
+    ``task`` is ``(lo, hi)`` on the pickle plane or
+    ``(spec, lo, hi)`` on the shm plane.  Returns
+    ``(dominated_ids, counter_dict)``.  ``state`` defaults to the
+    worker-process state (installed by :func:`init_worker` or resolved
+    from the spec); the engine passes its own when running in-process
+    or as the sequential fallback.
     """
-    lo, hi = task
     if state is None:
-        state = _STATE
+        first = task[0]
+        state = _STATE if isinstance(first, int) else _call_state(first)
+    lo, hi = _task_bounds(task)
     scan = scan_status_bitset if state.refine == "bitset" else scan_status
     stats = SkylineCounters()
     dominated = [
@@ -454,7 +560,7 @@ def validate_status_chunk(task: tuple, result) -> bool:
     ``(ascending vertex-id list, counter dict)`` pair sized within the
     chunk — a worker returning garbage must never poison the merge.
     """
-    lo, hi = task[0], task[1]
+    lo, hi = _task_bounds(task)
     if not (isinstance(result, tuple) and len(result) == 2):
         return False
     part, stats = result
@@ -473,7 +579,7 @@ def validate_witness_chunk(task: tuple, result) -> bool:
     Exactly one ``(dominated, witness)`` pair per chunk entry — the
     witness pass never drops or invents candidates.
     """
-    lo, hi = task[0], task[1]
+    lo, hi = _task_bounds(task)
     if not (isinstance(result, tuple) and len(result) == 2):
         return False
     part, stats = result
@@ -491,14 +597,24 @@ def validate_witness_chunk(task: tuple, result) -> bool:
 def run_witness_chunk(task: tuple, state: Optional[RefineState] = None):
     """Witness pass over one chunk of the dominated-candidate list.
 
-    ``task`` is ``(lo, hi, dominated)`` where ``dominated`` is the full
-    ascending list from the status pass — shipped whole so each worker
-    can build the skip flags once and index its slice.  Returns
-    ``([(u, witness), ...], counter_dict)``.
+    ``task`` is ``(lo, hi, dominated)`` on the pickle plane —
+    ``dominated`` is the full ascending list from the status pass,
+    shipped whole so each worker can build the skip flags once and
+    index its slice — or ``(spec, lo, hi, dominated_ref)`` on the shm
+    plane, where the list lives in a call-scoped segment attached on
+    first touch.  Returns ``([(u, witness), ...], counter_dict)``.
     """
-    lo, hi, dominated = task
-    if state is None:
-        state = _STATE
+    if isinstance(task[0], int):
+        lo, hi, dominated = task
+        if state is None:
+            state = _STATE
+    else:
+        spec, lo, hi, dom_ref = task
+        if state is None:
+            state = _call_state(spec)
+            if _CALL is not None and _CALL["state"] is state:
+                _CALL["names"].add(dom_ref.name)
+        dominated = attach_view(dom_ref)
     _ensure_flags(state, dominated)
     scan = scan_witness_bitset if state.refine == "bitset" else scan_witness
     stats = SkylineCounters()

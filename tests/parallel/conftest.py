@@ -1,0 +1,46 @@
+"""Segment-hygiene guard for every test in ``tests/parallel``.
+
+The shared-memory data plane promises exactly-once unlink on every exit
+path — normal return, ``RecoveryError``, chaos-matrix kills.  These
+hooks enforce it mechanically: each test snapshots ``/dev/shm`` (and
+the in-process plane registry) on setup and asserts on teardown that no
+``repro_*`` segment born during the test survived it.
+
+Implemented as pytest hooks rather than an autouse fixture so the
+hypothesis-driven chaos tests don't trip
+``HealthCheck.function_scoped_fixture``.
+"""
+
+from __future__ import annotations
+
+import gc
+import glob
+
+
+def _shm_segments() -> set:
+    # Non-Linux hosts have no /dev/shm; glob just returns nothing and
+    # the registry check below still covers parent-side hygiene.
+    return set(glob.glob("/dev/shm/repro_*"))
+
+
+def pytest_runtest_setup(item):
+    item._shm_before = _shm_segments()
+
+
+def pytest_runtest_teardown(item, nextitem):
+    before = getattr(item, "_shm_before", None)
+    if before is None:
+        return
+    # Sweep planes a test dropped without close() — their finalizers
+    # must unlink; that is part of the contract under test.
+    gc.collect()
+    leaked = _shm_segments() - before
+    assert not leaked, (
+        f"test leaked shared-memory segments: {sorted(leaked)}"
+    )
+    from repro.parallel.shm import live_segment_names
+
+    assert live_segment_names() == (), (
+        "test left parent-owned segments in the plane registry: "
+        f"{live_segment_names()}"
+    )
