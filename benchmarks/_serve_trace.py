@@ -1,0 +1,167 @@
+"""Shared load-generation harness for the serving benchmarks.
+
+Three pieces, all deterministic under a seed so replay runs are
+reproducible request-for-request:
+
+* :func:`generate_trace` — a seeded mixed-workload trace (skyline /
+  group / clique over several graphs) with bursty arrivals: requests
+  land in bursts of 1..``burst_max`` separated by exponential gaps, the
+  arrival pattern the bounded queue exists to absorb;
+* :func:`replay` — fire a trace at a live
+  :class:`~repro.serve.server.ServerThread` from a small client pool,
+  honoring each request's arrival offset, and record per-request
+  status + latency;
+* :func:`summarize` — p50/p99 latency, status counts, rejection and
+  expiry rates from the recorded outcomes.
+
+Latency here is the full client round-trip (connect + queue wait +
+service + response), which is what a caller of the service observes.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+QUERY_KINDS = ("skyline", "group", "clique")
+
+#: Workload mix: skyline dominates (the cheap cached query), group and
+#: clique ride along as the expensive tail.
+DEFAULT_KIND_WEIGHTS = (6, 3, 1)
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One request in a trace: when it arrives and what it asks."""
+
+    offset_s: float  # arrival time relative to replay start
+    graph: str
+    kind: str
+    payload: dict = field(hash=False)
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """One completed round-trip during replay."""
+
+    kind: str
+    status: int
+    latency_s: float
+
+
+def generate_trace(
+    graphs,
+    num_requests: int,
+    *,
+    seed: int = 0,
+    mean_gap_s: float = 0.02,
+    burst_max: int = 6,
+    kind_weights=DEFAULT_KIND_WEIGHTS,
+    timeout_s=None,
+) -> list:
+    """A seeded mixed trace with bursty arrivals.
+
+    Every request inside a burst shares one arrival offset (the burst
+    hits the socket back-to-back); bursts are separated by
+    ``Exp(1/mean_gap_s)`` gaps.  ``timeout_s`` (optional) is stamped on
+    every request so replay runs can bound their queue wait.
+    """
+    graphs = tuple(graphs)
+    rng = random.Random(seed)
+    trace: list[TraceRequest] = []
+    clock = 0.0
+    while len(trace) < num_requests:
+        burst = min(rng.randint(1, burst_max), num_requests - len(trace))
+        for _ in range(burst):
+            kind = rng.choices(QUERY_KINDS, weights=kind_weights)[0]
+            graph = rng.choice(graphs)
+            payload = {
+                "graph": graph,
+                "kind": kind,
+                "priority": rng.randint(0, 2),
+            }
+            if kind == "group":
+                payload["k"] = rng.randint(2, 4)
+                payload["measure"] = rng.choice(("closeness", "harmonic"))
+            elif kind == "clique" and rng.random() < 0.5:
+                payload["top_k"] = rng.randint(2, 3)
+            if timeout_s is not None:
+                payload["timeout_s"] = timeout_s
+            trace.append(TraceRequest(clock, graph, kind, payload))
+        clock += rng.expovariate(1.0 / mean_gap_s)
+    return trace
+
+
+def replay(
+    handle,
+    trace,
+    *,
+    max_clients: int = 8,
+    timeout: float = 120.0,
+) -> tuple[list, float]:
+    """Fire ``trace`` at a live server; returns (outcomes, wall_s).
+
+    The submitting thread paces arrivals against the trace clock; a
+    client pool carries the concurrent in-flight requests, so a burst
+    genuinely overlaps on the wire.  Outcomes keep trace order.
+    """
+    results: list = [None] * len(trace)
+
+    def fire(index: int, request: TraceRequest) -> None:
+        start = time.perf_counter()
+        status, _doc = handle.request(
+            "POST", "/query", request.payload, timeout=timeout
+        )
+        results[index] = Outcome(
+            request.kind, status, time.perf_counter() - start
+        )
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=max_clients) as pool:
+        futures = []
+        for index, request in enumerate(trace):
+            delay = request.offset_s - (time.perf_counter() - started)
+            if delay > 0:
+                time.sleep(delay)
+            futures.append(pool.submit(fire, index, request))
+        for future in futures:
+            future.result()  # re-raise client-side failures
+    return results, time.perf_counter() - started
+
+
+def _percentile(sorted_values, p: float) -> float:
+    """Nearest-rank percentile over an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = -(-p * len(sorted_values) // 100)  # ceil(p/100 * n)
+    rank = min(len(sorted_values), max(1, int(rank)))
+    return sorted_values[rank - 1]
+
+
+def summarize(outcomes, wall_s: float) -> dict:
+    """Headline numbers for one replay run."""
+    statuses = Counter(outcome.status for outcome in outcomes)
+    latencies = sorted(o.latency_s for o in outcomes if o.status == 200)
+    total = len(outcomes)
+    rejected = statuses.get(429, 0)
+    expired = statuses.get(504, 0)
+    server_errors = sum(
+        count
+        for status, count in statuses.items()
+        if status >= 500 and status != 504
+    )
+    return {
+        "requests": total,
+        "wall_s": wall_s,
+        "ok": statuses.get(200, 0),
+        "rejected": rejected,
+        "expired": expired,
+        "server_errors": server_errors,
+        "rejection_rate": rejected / total if total else 0.0,
+        "p50_ms": 1000.0 * _percentile(latencies, 50),
+        "p99_ms": 1000.0 * _percentile(latencies, 99),
+        "statuses": {str(k): v for k, v in sorted(statuses.items())},
+    }

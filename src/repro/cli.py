@@ -14,6 +14,10 @@ Subcommands mirror the paper's three workloads:
   optional checkpointing (``--checkpoint``) and resume (``--resume``):
   a killed sweep restarts where it left off and produces the same
   final report as an uninterrupted one.
+* ``serve``    — skyline-as-a-service: an asyncio HTTP server hosting
+  named graphs (each behind one warm engine session) and routing
+  skyline/group/clique queries through a bounded priority queue with
+  per-request deadlines and 429 backpressure (see docs/serving.md).
 
 Graphs come either from the registry (``--dataset``) or from an edge
 list on disk (``--edge-list``, ``#`` comments, 0-based IDs).
@@ -395,6 +399,45 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the serving layer until Ctrl-C (or ``--max-requests``)."""
+    from repro.serve import GraphRegistry, ServeConfig, run_server
+
+    workers = _validated_workers(args)
+    registry = GraphRegistry(
+        workers=workers,
+        data_plane=args.data_plane,
+        timeout=args.timeout,
+    )
+    try:
+        for spec_string in args.graph:
+            entry = registry.register_spec(spec_string)
+            print(
+                f"hosting {entry.name}: n={entry.graph.num_vertices} "
+                f"m={entry.graph.num_edges} ({entry.source})"
+            )
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            queue_capacity=args.queue_capacity,
+            batch_max=args.batch_max,
+            default_timeout_s=args.request_timeout,
+            max_requests=args.max_requests,
+        )
+
+        def announce(server):
+            print(
+                f"serving on http://{args.host}:{server.port} "
+                f"(queue={config.queue_capacity}, "
+                f"batch={config.batch_max}, workers={workers})",
+                flush=True,
+            )
+
+        return run_server(registry, config, announce=announce)
+    finally:
+        registry.close()
+
+
 def _cmd_clique(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     precomputed = _parallel_skyline(graph, args)
@@ -538,6 +581,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workers_argument(p_swp)
 
+    p_srv = sub.add_parser(
+        "serve",
+        help="skyline-as-a-service HTTP server (see docs/serving.md)",
+    )
+    p_srv.add_argument(
+        "--graph",
+        action="append",
+        required=True,
+        metavar="NAME|ALIAS=PATH",
+        help=(
+            "graph to host (repeatable): a registry dataset name, or "
+            "alias=path for an edge-list file"
+        ),
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="listen port (0 picks an ephemeral one, printed at startup)",
+    )
+    p_srv.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=64,
+        metavar="N",
+        help=(
+            "bounded request-queue depth; a full queue rejects with "
+            "429 instead of growing (default: 64)"
+        ),
+    )
+    p_srv.add_argument(
+        "--batch-max",
+        type=int,
+        default=8,
+        metavar="N",
+        help=(
+            "max same-graph requests dispatched per batch on the warm "
+            "session (default: 8)"
+        ),
+    )
+    p_srv.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help=(
+            "default per-request queue-wait deadline; expired requests "
+            "get 504 and never reach an engine (default: 30)"
+        ),
+    )
+    p_srv.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve N queries then exit cleanly (smoke tests)",
+    )
+    _add_workers_argument(p_srv)
+
     p_clq = sub.add_parser("clique", help="maximum clique search")
     _add_graph_arguments(p_clq)
     p_clq.add_argument(
@@ -559,6 +662,7 @@ _COMMANDS = {
     "clique": _cmd_clique,
     "stats": _cmd_stats,
     "sweep": _cmd_sweep,
+    "serve": _cmd_serve,
 }
 
 

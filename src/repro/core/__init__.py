@@ -11,6 +11,7 @@ from repro.core.api import (
     group_centrality_maximize,
     neighborhood_candidates,
     neighborhood_skyline,
+    serve,
 )
 from repro.core.base_sky import base_sky
 from repro.core.bitset_refine import filter_refine_bitset_sky
@@ -45,6 +46,7 @@ __all__ = [
     "group_centrality_maximize",
     "neighborhood_candidates",
     "neighborhood_skyline",
+    "serve",
     "base_sky",
     "SkylineCounters",
     "base_cset_sky",

@@ -27,6 +27,7 @@ __all__ = [
     "neighborhood_candidates",
     "group_centrality_maximize",
     "engine_session",
+    "serve",
     "ALGORITHMS",
 ]
 
@@ -125,6 +126,53 @@ def engine_session(graph: Graph, **options):
     from repro.parallel.session import EngineSession
 
     return EngineSession(graph, **options)
+
+
+def serve(
+    graphs,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    workers: int = 1,
+    data_plane: str = "auto",
+    timeout: Optional[float] = None,
+    queue_capacity: int = 64,
+    batch_max: int = 8,
+    request_timeout_s: Optional[float] = 30.0,
+    max_requests: Optional[int] = None,
+) -> int:
+    """Skyline-as-a-service in one call (blocking).
+
+    ``graphs`` is an iterable of spec strings — a registry dataset name
+    (``"karate"``) or ``alias=path`` for an edge-list file.  Each graph
+    gets one warm :func:`engine_session`; ``skyline`` / ``group`` /
+    ``clique`` queries are served over HTTP through a bounded priority
+    queue with per-request deadlines and 429 backpressure.  See
+    :mod:`repro.serve` and ``docs/serving.md``; the CLI equivalent is
+    ``repro serve``.  Returns the process exit code.  Imported lazily —
+    the serving layer pulls in the parallel stack.
+    """
+    from repro.serve import GraphRegistry, ServeConfig, run_server
+
+    registry = GraphRegistry(
+        workers=workers, data_plane=data_plane, timeout=timeout
+    )
+    try:
+        for spec in graphs:
+            registry.register_spec(spec)
+        if not len(registry):
+            raise ParameterError("serve needs at least one graph spec")
+        config = ServeConfig(
+            host=host,
+            port=port,
+            queue_capacity=queue_capacity,
+            batch_max=batch_max,
+            default_timeout_s=request_timeout_s,
+            max_requests=max_requests,
+        )
+        return run_server(registry, config)
+    finally:
+        registry.close()
 
 
 def neighborhood_candidates(

@@ -35,6 +35,7 @@ engines it fronts.
 
 from __future__ import annotations
 
+import threading
 from hashlib import blake2b
 from typing import Optional
 
@@ -127,6 +128,7 @@ class EngineSession:
         self._epoch = 0
         self._pooled_calls = 0
         self._closed = False
+        self._close_lock = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------
     @property
@@ -142,16 +144,28 @@ class EngineSession:
             )
 
     def close(self) -> None:
-        """Shut the pool down and unlink every segment.  Idempotent."""
-        if self._closed:
-            return
-        self._closed = True
-        if self._supervisor is not None:
-            self._supervisor.shutdown()
-            self._supervisor = None
-        self._seg_cache.clear()
-        if self._plane is not None:
-            self._plane.close()
+        """Shut the pool down and unlink every segment.  Idempotent.
+
+        Hardened for the serving teardown paths: safe to call from a
+        different thread than the one running a pooled call (the
+        supervisor kills its pool; the in-flight call surfaces an
+        error, never a leak), re-entrant under races (a lock makes the
+        closed-flag flip atomic), and exception-safe — segment unlink
+        runs even if the pool teardown raises, so an atexit or asyncio
+        cancellation unwind never strands ``/dev/shm`` residue.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+            supervisor, self._supervisor = self._supervisor, None
+        try:
+            if supervisor is not None:
+                supervisor.shutdown()
+        finally:
+            self._seg_cache.clear()
+            if self._plane is not None:
+                self._plane.close()
 
     def __enter__(self) -> "EngineSession":
         self.check_open()

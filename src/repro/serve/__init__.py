@@ -1,0 +1,51 @@
+"""Skyline-as-a-service: asyncio HTTP serving layer.
+
+The repo's first multi-request, multi-graph subsystem: a registry of
+named graphs each fronted by one warm
+:class:`~repro.parallel.session.EngineSession`, a bounded priority
+queue with per-request deadlines and backpressure, and a handcrafted
+asyncio HTTP front (no new dependencies).  See ``docs/serving.md`` for
+the architecture and semantics, and ``repro serve --help`` for the CLI.
+"""
+
+from repro.serve.metrics import LatencyHistogram, ServerMetrics
+from repro.serve.protocol import HttpError, HttpRequest
+from repro.serve.queue import (
+    DEFAULT_PRIORITY,
+    BoundedRequestQueue,
+    QueuedRequest,
+    QueueFullError,
+)
+from repro.serve.registry import (
+    QUERY_KINDS,
+    GraphEntry,
+    GraphRegistry,
+    execute_query,
+    parse_graph_spec,
+)
+from repro.serve.server import (
+    ServeConfig,
+    ServerThread,
+    SkylineServer,
+    run_server,
+)
+
+__all__ = [
+    "BoundedRequestQueue",
+    "DEFAULT_PRIORITY",
+    "GraphEntry",
+    "GraphRegistry",
+    "HttpError",
+    "HttpRequest",
+    "LatencyHistogram",
+    "QUERY_KINDS",
+    "QueueFullError",
+    "QueuedRequest",
+    "ServeConfig",
+    "ServerMetrics",
+    "ServerThread",
+    "SkylineServer",
+    "execute_query",
+    "parse_graph_spec",
+    "run_server",
+]

@@ -1,0 +1,154 @@
+"""Serving telemetry: counters + latency histograms for ``/metrics``.
+
+The serving layer's observability contract is one JSON document that
+stitches together every telemetry source the repo already has:
+
+* the queue's admission counters (:meth:`~repro.serve.queue.
+  BoundedRequestQueue.counters`),
+* per-(kind, status) request totals,
+* queue-wait and service-time histograms with exact percentile reads
+  from recorded samples (bounded reservoir) plus fixed power-of-two
+  bucket counts for dashboards,
+* the engine's own work counters — :class:`~repro.core.counters.
+  SkylineCounters` sums and the ``resilience_*`` / ``parallel_session``
+  / ``data_plane`` extras every pooled call reports — summed across
+  all served requests.
+
+Everything is plain ints/floats/strings, so ``json.dumps`` of
+:meth:`ServerMetrics.as_dict` *is* the ``/metrics`` payload.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+__all__ = ["LatencyHistogram", "ServerMetrics"]
+
+#: Histogram bucket upper bounds, seconds (powers of two from 1 ms up).
+_BUCKET_BOUNDS = tuple(0.001 * 2**i for i in range(16))  # 1ms .. ~32.8s
+
+#: Exact-percentile reservoir size per histogram.  Serving benchmarks
+#: replay thousands of requests; keeping the most recent samples gives
+#: exact p50/p99 over a sliding window at trivial memory cost.
+_MAX_SAMPLES = 8192
+
+
+class LatencyHistogram:
+    """Fixed-bucket histogram with an exact-sample percentile reservoir."""
+
+    def __init__(self):
+        self.count = 0
+        self.sum = 0.0
+        self.bucket_counts = [0] * (len(_BUCKET_BOUNDS) + 1)
+        self._samples: list[float] = []
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency sample (bucket, sum, reservoir)."""
+        self.count += 1
+        self.sum += seconds
+        for i, bound in enumerate(_BUCKET_BOUNDS):
+            if seconds <= bound:
+                self.bucket_counts[i] += 1
+                break
+        else:
+            self.bucket_counts[-1] += 1
+        self._samples.append(seconds)
+        if len(self._samples) > _MAX_SAMPLES:
+            del self._samples[: len(self._samples) - _MAX_SAMPLES]
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Exact percentile over the retained samples (``None`` if empty).
+
+        Nearest-rank on the sorted reservoir: ``p`` in ``[0, 100]``.
+        """
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def as_dict(self) -> dict:
+        """Count, sum, buckets and reservoir percentiles as plain JSON."""
+        doc = {
+            "count": self.count,
+            "sum_s": self.sum,
+            "buckets": {
+                f"le_{bound:.3f}s": n
+                for bound, n in zip(_BUCKET_BOUNDS, self.bucket_counts)
+            },
+        }
+        doc["buckets"]["le_inf"] = self.bucket_counts[-1]
+        for label, p in (("p50_s", 50), ("p90_s", 90), ("p99_s", 99)):
+            value = self.percentile(p)
+            if value is not None:
+                doc[label] = value
+        return doc
+
+
+class ServerMetrics:
+    """Aggregated serving telemetry, rendered as the ``/metrics`` body."""
+
+    def __init__(self):
+        self.requests_total: Counter = Counter()  # (kind, status) -> n
+        self.queue_wait = LatencyHistogram()
+        self.service_time = LatencyHistogram()
+        self.engine_counters: Counter = Counter()
+        self.engine_extra: Counter = Counter()
+        self.session_calls: Counter = Counter()  # "cold"/"warm" -> n
+        self.batches_total = 0
+        self.batched_requests_total = 0
+
+    # -- recording -----------------------------------------------------
+    def record_request(self, kind: str, status: int) -> None:
+        """Count one completed request under its kind and HTTP status."""
+        self.requests_total[(kind, status)] += 1
+
+    def record_batch(self, size: int) -> None:
+        """Count one worker dispatch cycle of ``size`` requests."""
+        self.batches_total += 1
+        self.batched_requests_total += size
+
+    def absorb_engine_counters(self, counters) -> None:
+        """Fold one call's :class:`SkylineCounters` into the totals.
+
+        Numeric ``extra`` values (``resilience_*`` event counts and the
+        like) are summed; ``parallel_session`` cold/warm labels are
+        tallied; other non-numeric extras are counted by value so the
+        surface stays JSON-able.
+        """
+        if counters is None:
+            return
+        for key, value in counters.as_dict().items():
+            self.engine_counters[key] += value
+        for key, value in getattr(counters, "extra", {}).items():
+            if key == "parallel_session":
+                self.session_calls[str(value)] += 1
+            elif isinstance(value, bool):
+                self.engine_extra[f"{key}={value}"] += 1
+            elif isinstance(value, (int, float)):
+                self.engine_extra[key] += value
+            else:
+                self.engine_extra[f"{key}={value}"] += 1
+
+    # -- rendering -----------------------------------------------------
+    def as_dict(self, *, queue_counters: Optional[dict] = None) -> dict:
+        """The full /metrics document (requests/queue/latency/engine)."""
+        requests = {}
+        for (kind, status), n in sorted(self.requests_total.items()):
+            requests.setdefault(kind, {})[str(status)] = n
+        return {
+            "requests": requests,
+            "queue": dict(queue_counters or {}),
+            "queue_wait": self.queue_wait.as_dict(),
+            "service_time": self.service_time.as_dict(),
+            "batches": {
+                "total": self.batches_total,
+                "requests": self.batched_requests_total,
+            },
+            "engine": {
+                "counters": dict(sorted(self.engine_counters.items())),
+                "extra": dict(sorted(self.engine_extra.items())),
+                "session_calls": dict(sorted(self.session_calls.items())),
+            },
+        }

@@ -1,0 +1,250 @@
+"""Bounded priority queue with deadlines, batching and backpressure.
+
+The admission-control heart of the serving layer, kept free of asyncio
+so a Hypothesis state machine can drive every transition against a
+model with a fake clock (``tests/serve/test_queue_stateful.py``):
+
+* **Bounded** — :meth:`BoundedRequestQueue.push` raises
+  :class:`QueueFullError` once ``capacity`` live requests are pending.
+  The server maps that to a 429: under overload the queue *rejects*,
+  it never grows without bound.  (Purging expired requests happens
+  before the capacity check, so a stale backlog cannot wedge the
+  server into rejecting forever.)
+* **Priority** — lower ``priority`` values dispatch first; ties break
+  FIFO by arrival sequence.  Implemented as a heap with lazy deletion.
+* **Deadlines** — each request may carry an absolute deadline (same
+  clock as the queue's).  An expired request is completed exceptionally
+  via ``on_expire`` at purge/pop time and **never returned to a
+  dispatcher**: expiry is enforced at the queue boundary, so no engine
+  cycle is spent on a request whose client has already given up.
+* **Batching** — :meth:`pop_batch` returns the most urgent request
+  plus up to ``batch_max - 1`` further requests *for the same graph*,
+  in priority order.  Same-graph batches keep a warm
+  :class:`~repro.parallel.session.EngineSession` hot instead of
+  ping-ponging between graphs.
+
+Counters (`enqueued`/`dequeued`/`rejected`/`expired`) and queue
+wait-times are recorded on the queue itself; the server folds them
+into ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import ReproError
+
+__all__ = [
+    "DEFAULT_PRIORITY",
+    "QueueFullError",
+    "QueuedRequest",
+    "BoundedRequestQueue",
+]
+
+#: Priority assigned when a client does not ask for one.  Clients may
+#: go more urgent (lower) or less urgent (higher).
+DEFAULT_PRIORITY = 10
+
+
+class QueueFullError(ReproError):
+    """Backpressure: the queue is at capacity; the request was rejected."""
+
+    def __init__(self, capacity: int):
+        super().__init__(
+            f"request queue is full ({capacity} pending); retry later"
+        )
+        self.capacity = capacity
+
+
+@dataclass
+class QueuedRequest:
+    """One admitted request, from enqueue to dispatch (or expiry).
+
+    ``payload`` is opaque to the queue (the server stores the parsed
+    query spec plus the asyncio future it will resolve); ``graph`` is
+    the batching key; ``deadline`` is absolute, on the queue's clock,
+    ``None`` meaning "wait forever".
+    """
+
+    graph: str
+    kind: str
+    payload: Any = None
+    priority: int = DEFAULT_PRIORITY
+    deadline: Optional[float] = None
+    seq: int = -1  # assigned by the queue at admission
+    enqueued_at: float = field(default=0.0, repr=False)
+
+    def expired(self, now: float) -> bool:
+        """Whether the deadline has passed as of ``now`` (monotonic)."""
+        return self.deadline is not None and now >= self.deadline
+
+
+class BoundedRequestQueue:
+    """A bounded, deadline-aware priority queue of :class:`QueuedRequest`.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of live (admitted, not yet dispatched or
+        expired) requests.
+    on_expire:
+        Called once per request whose deadline passed while queued —
+        the server uses it to fail the request's future.  Never called
+        for dispatched requests.
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+
+    Not thread-safe: the server drives it from one event loop, the
+    tests from one state machine.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        on_expire: Optional[Callable[[QueuedRequest], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if capacity < 1:
+            raise ReproError(
+                f"queue capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._on_expire = on_expire
+        self._clock = clock
+        self._heap: list[tuple[int, int, QueuedRequest]] = []
+        self._live: dict[int, QueuedRequest] = {}
+        self._seq = itertools.count()
+        # -- counters, surfaced via /metrics ---------------------------
+        self.enqueued_total = 0
+        self.dequeued_total = 0
+        self.rejected_total = 0
+        self.expired_total = 0
+        self.wait_seconds: list[float] = []  # consumed by the server
+
+    # -- introspection -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._live)
+
+    @property
+    def depth(self) -> int:
+        """Live requests currently pending (the bounded quantity)."""
+        return len(self._live)
+
+    def counters(self) -> dict[str, int]:
+        """Lifetime admission/dispatch/rejection/expiry totals + depth."""
+        return {
+            "depth": self.depth,
+            "capacity": self.capacity,
+            "enqueued_total": self.enqueued_total,
+            "dequeued_total": self.dequeued_total,
+            "rejected_total": self.rejected_total,
+            "expired_total": self.expired_total,
+        }
+
+    # -- transitions ---------------------------------------------------
+    def _expire(self, request: QueuedRequest) -> None:
+        self.expired_total += 1
+        if self._on_expire is not None:
+            self._on_expire(request)
+
+    def purge_expired(self, now: Optional[float] = None) -> int:
+        """Expire every live request whose deadline has passed."""
+        if now is None:
+            now = self._clock()
+        stale = [r for r in self._live.values() if r.expired(now)]
+        for request in stale:
+            del self._live[request.seq]
+            self._expire(request)
+        return len(stale)
+
+    def push(self, request: QueuedRequest) -> QueuedRequest:
+        """Admit ``request`` or raise :class:`QueueFullError`.
+
+        Assigns the arrival sequence number and enqueue timestamp.
+        A request born expired is admitted and expired on the spot
+        (counted in both totals) rather than rejected as overload —
+        the client gets the deadline error its timeout asked for.
+        """
+        now = self._clock()
+        self.purge_expired(now)
+        if len(self._live) >= self.capacity:
+            self.rejected_total += 1
+            raise QueueFullError(self.capacity)
+        request.seq = next(self._seq)
+        request.enqueued_at = now
+        self.enqueued_total += 1
+        if request.expired(now):
+            self._expire(request)
+            return request
+        self._live[request.seq] = request
+        heapq.heappush(
+            self._heap, (request.priority, request.seq, request)
+        )
+        return request
+
+    def _pop_live(self, now: float) -> Optional[QueuedRequest]:
+        """The most urgent unexpired request, expiring stale heads."""
+        while self._heap:
+            _, seq, request = heapq.heappop(self._heap)
+            if seq not in self._live:  # lazily deleted (batch pull)
+                continue
+            del self._live[seq]
+            if request.expired(now):
+                self._expire(request)
+                continue
+            return request
+        return None
+
+    def pop_batch(self, batch_max: int = 1) -> list[QueuedRequest]:
+        """Up to ``batch_max`` same-graph requests, most urgent first.
+
+        The head of the batch is the globally most urgent live request;
+        followers are the most urgent *remaining* requests for the same
+        graph.  Expired requests encountered along the way are completed
+        via ``on_expire`` and never returned.  Empty list = empty queue.
+        """
+        if batch_max < 1:
+            raise ReproError(f"batch_max must be >= 1, got {batch_max}")
+        now = self._clock()
+        # Eager expiry at the pop boundary: every stale request is
+        # completed now, so depth is truthful and no expired request
+        # can linger in the live set between pops.
+        self.purge_expired(now)
+        head = self._pop_live(now)
+        if head is None:
+            return []
+        batch = [head]
+        if batch_max > 1:
+            # Followers: scan live same-graph requests in priority order.
+            same = sorted(
+                (
+                    r
+                    for r in self._live.values()
+                    if r.graph == head.graph
+                ),
+                key=lambda r: (r.priority, r.seq),
+            )
+            for request in same[: batch_max - 1]:
+                del self._live[request.seq]  # heap entry now lazy-dead
+                if request.expired(now):
+                    self._expire(request)
+                    continue
+                batch.append(request)
+        for request in batch:
+            self.dequeued_total += 1
+            self.wait_seconds.append(now - request.enqueued_at)
+        return batch
+
+    def drain(self) -> list[QueuedRequest]:
+        """Remove and return every live request (shutdown path)."""
+        pending = sorted(
+            self._live.values(), key=lambda r: (r.priority, r.seq)
+        )
+        self._live.clear()
+        self._heap.clear()
+        return pending

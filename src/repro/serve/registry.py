@@ -1,0 +1,320 @@
+"""Multi-graph registry: named graphs, each with one warm engine session.
+
+A serving process hosts several immutable graphs at once.  The registry
+maps each name to a :class:`GraphEntry` that owns the graph, a lazily
+created warm :class:`~repro.parallel.session.EngineSession` (one pool +
+one published CSR snapshot, reused across every request for that
+graph), and a cached skyline result — the skyline is the input stage of
+both downstream applications, so one computation feeds every subsequent
+``group`` and ``clique`` request.
+
+Graph sources are either **registry dataset names**
+(:mod:`repro.workloads`) or **edge-list paths**; the CLI spec syntax is
+``name`` for the former and ``alias=path`` for the latter.
+
+:func:`execute_query` is the single dispatch point for the three query
+kinds.  It goes through exactly the public entry points a direct caller
+would use — ``parallel_refine_sky`` (bit-for-bit
+``filter_refine_sky``/``filter_refine_bitset`` by the engine's
+equivalence guarantee), ``run_greedy`` via the Base*/NeiSky* drivers,
+and ``mc_brb``/``*_topk_mcc`` — so a served response is bit-for-bit the
+direct API result; the integration suite asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.counters import SkylineCounters
+from repro.core.result import SkylineResult
+from repro.errors import ParameterError, ReproError
+from repro.graph.adjacency import Graph
+from repro.graph.io import read_edge_list
+from repro.parallel.session import EngineSession
+
+__all__ = [
+    "GraphEntry",
+    "GraphRegistry",
+    "QUERY_KINDS",
+    "execute_query",
+    "parse_graph_spec",
+]
+
+#: The query kinds the serving layer routes.
+QUERY_KINDS = ("skyline", "group", "clique")
+
+
+def parse_graph_spec(spec: str) -> tuple[str, str, str]:
+    """``(name, source_kind, source)`` for one ``--graph`` spec string.
+
+    ``"karate"`` names a registry dataset; ``"web=/tmp/web.edges"``
+    binds an alias to an edge-list path.
+    """
+    name, sep, path = spec.partition("=")
+    name = name.strip()
+    if not name:
+        raise ParameterError(f"empty graph name in spec {spec!r}")
+    if sep:
+        path = path.strip()
+        if not path:
+            raise ParameterError(f"empty edge-list path in spec {spec!r}")
+        return name, "edge_list", path
+    return name, "dataset", name
+
+
+@dataclass
+class GraphEntry:
+    """One hosted graph: data + warm session + cached skyline."""
+
+    name: str
+    graph: Graph
+    source: str
+    workers: int = 1
+    data_plane: str = "auto"
+    timeout: Optional[float] = None
+    _session: Optional[EngineSession] = field(default=None, repr=False)
+    _skyline: Optional[SkylineResult] = field(default=None, repr=False)
+
+    @property
+    def session(self) -> EngineSession:
+        """The warm engine session, created on first use."""
+        if self._session is None or self._session.closed:
+            self._session = EngineSession(
+                self.graph,
+                workers=self.workers,
+                data_plane=self.data_plane,
+                timeout=self.timeout,
+            )
+        return self._session
+
+    def skyline_result(
+        self, counters: Optional[SkylineCounters] = None
+    ) -> SkylineResult:
+        """The graph's skyline, computed once on the warm session.
+
+        The graph is immutable, so the result is cached; every
+        ``group``/``clique`` request after the first reuses it — the
+        same reuse a direct caller gets by passing ``skyline=`` into
+        the drivers.
+        """
+        if self._skyline is None:
+            self._skyline = self.session.refine_sky(counters=counters)
+        return self._skyline
+
+    def describe(self) -> dict:
+        """The /graphs row: name, source, sizes, session/cache state."""
+        return {
+            "name": self.name,
+            "source": self.source,
+            "vertices": self.graph.num_vertices,
+            "edges": self.graph.num_edges,
+            "workers": self.workers,
+            "data_plane": self.data_plane,
+            "session": (
+                "cold"
+                if self._session is None or self._session.closed
+                else "warm"
+            ),
+            "skyline_cached": self._skyline is not None,
+        }
+
+    def close(self) -> None:
+        """Tear down the warm session (idempotent; registry close path)."""
+        if self._session is not None:
+            self._session.close()
+            self._session = None
+
+
+class GraphRegistry:
+    """Named graphs behind the serving layer; owns their sessions.
+
+    ``workers`` / ``data_plane`` / ``timeout`` apply to every entry's
+    session (per-graph overrides can be added at :meth:`register`).
+    ``close()`` is idempotent and closes every session — the registry
+    is the single owner, so server shutdown tears down every pool and
+    shared-memory segment exactly once.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        data_plane: str = "auto",
+        timeout: Optional[float] = None,
+    ):
+        self.workers = workers
+        self.data_plane = data_plane
+        self.timeout = timeout
+        self._entries: dict[str, GraphEntry] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def names(self) -> tuple[str, ...]:
+        """Registered graph names, sorted."""
+        return tuple(sorted(self._entries))
+
+    def register(
+        self,
+        name: str,
+        graph: Graph,
+        *,
+        source: str = "inline",
+        workers: Optional[int] = None,
+    ) -> GraphEntry:
+        """Host ``graph`` under ``name`` (re-registration rejected)."""
+        if self._closed:
+            raise ReproError("this GraphRegistry is closed")
+        if name in self._entries:
+            raise ParameterError(
+                f"graph {name!r} is already registered; unregister or "
+                "pick another alias"
+            )
+        entry = GraphEntry(
+            name=name,
+            graph=graph,
+            source=source,
+            workers=self.workers if workers is None else workers,
+            data_plane=self.data_plane,
+            timeout=self.timeout,
+        )
+        self._entries[name] = entry
+        return entry
+
+    def register_spec(self, spec: str) -> GraphEntry:
+        """Register from a ``--graph`` spec string (see
+        :func:`parse_graph_spec`)."""
+        name, kind, source = parse_graph_spec(spec)
+        if kind == "dataset":
+            from repro.workloads import load
+
+            graph = load(source)
+            return self.register(name, graph, source=f"dataset:{source}")
+        graph = read_edge_list(source)
+        return self.register(name, graph, source=f"edge_list:{source}")
+
+    def entry(self, name: str) -> GraphEntry:
+        """The entry for ``name``; ParameterError when unregistered."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ParameterError(
+                f"unknown graph {name!r}; hosted graphs: "
+                f"{list(self.names())}"
+            ) from None
+
+    def describe(self) -> list[dict]:
+        """One describe() row per registered graph (the /graphs body)."""
+        return [self._entries[n].describe() for n in self.names()]
+
+    def close(self) -> None:
+        """Close every session.  Idempotent; safe to call twice."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            entries = list(self._entries.values())
+        for entry in entries:
+            entry.close()
+
+
+# ---------------------------------------------------------------------
+# Query execution (runs on the server's single dispatch thread)
+# ---------------------------------------------------------------------
+def _int_param(params: dict, key: str, default: int, minimum: int) -> int:
+    value = params.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ParameterError(f"{key} must be an integer, got {value!r}")
+    if value < minimum:
+        raise ParameterError(f"{key} must be >= {minimum}, got {value}")
+    return value
+
+
+def execute_query(entry: GraphEntry, kind: str, params: dict) -> dict:
+    """Run one query on ``entry``'s warm session; a JSON-able result.
+
+    The responses carry the exact values a direct caller sees:
+
+    * ``skyline`` — ``skyline``/``dominator``/``candidates`` of the
+      engine's :class:`SkylineResult` (identical to
+      ``filter_refine_sky`` / ``filter_refine_bitset`` by the parallel
+      engine's equivalence guarantee);
+    * ``group`` — ``group``/``gains``/``evaluations``/``pool_size`` of
+      the Base*/NeiSky* drivers' :class:`GreedyResult` (``gains`` in
+      the objective's own units; eager and lazy strategies return
+      identical groups and gains);
+    * ``clique`` — the ``mc_brb``/``neisky_mc``/``*_topk_mcc`` clique
+      lists, skyline-pruned variants reusing the cached skyline.
+    """
+    graph = entry.graph
+    if kind == "skyline":
+        counters = SkylineCounters()
+        result = entry.session.refine_sky(counters=counters)
+        return {
+            "algorithm": result.algorithm,
+            "skyline": list(result.skyline),
+            "dominator": list(result.dominator),
+            "candidate_size": result.candidate_size,
+            "size": result.size,
+            "_counters": counters,
+        }
+    if kind == "group":
+        from repro.centrality import base_gc, base_gh, neisky_gc, neisky_gh
+
+        k = _int_param(params, "k", 8, 0)
+        measure = params.get("measure", "closeness")
+        if measure not in ("closeness", "harmonic"):
+            raise ParameterError(
+                f"unknown group measure {measure!r}; choose 'closeness' "
+                "or 'harmonic'"
+            )
+        use_skyline = bool(params.get("use_skyline", True))
+        counters = SkylineCounters()
+        if use_skyline:
+            run = neisky_gc if measure == "closeness" else neisky_gh
+            skyline = entry.skyline_result(counters).skyline
+            result = run(graph, k, skyline=skyline)
+        else:
+            run = base_gc if measure == "closeness" else base_gh
+            result = run(graph, k)
+        return {
+            "measure": measure,
+            "use_skyline": use_skyline,
+            "k": k,
+            "group": list(result.group),
+            "gains": list(result.gains),
+            "evaluations": result.evaluations,
+            "pool_size": result.pool_size,
+            "objective": result.objective,
+            "_counters": counters,
+        }
+    if kind == "clique":
+        from repro.clique import base_topk_mcc, mc_brb, neisky_mc, neisky_topk_mcc
+
+        top_k = _int_param(params, "top_k", 1, 1)
+        use_skyline = bool(params.get("use_skyline", True))
+        counters = SkylineCounters()
+        if not use_skyline:
+            cliques = (
+                [mc_brb(graph)] if top_k == 1 else base_topk_mcc(graph, top_k)
+            )
+        else:
+            sky = entry.skyline_result(counters)
+            if top_k == 1:
+                cliques = [neisky_mc(graph, skyline=sky.skyline)]
+            else:
+                cliques = neisky_topk_mcc(graph, top_k, skyline_result=sky)
+        return {
+            "top_k": top_k,
+            "use_skyline": use_skyline,
+            "cliques": [list(c) for c in cliques],
+            "sizes": [len(c) for c in cliques],
+            "_counters": counters,
+        }
+    raise ParameterError(
+        f"unknown query kind {kind!r}; choose from {list(QUERY_KINDS)}"
+    )

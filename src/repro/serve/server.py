@@ -1,0 +1,577 @@
+"""Skyline-as-a-service: the asyncio HTTP server.
+
+Architecture (one process, one event loop, one engine thread)::
+
+    clients ──► asyncio connections ──► BoundedRequestQueue ──► worker
+                   (protocol.py)          (admission, 429)        │
+                                                                  ▼
+                                                    engine thread (1)
+                                                    execute_query on the
+                                                    graph's warm
+                                                    EngineSession
+
+* The **event loop** parses requests, enqueues them, and writes
+  responses.  It never runs graph work.
+* The **queue** is the only place requests wait: bounded (full ⇒ 429),
+  priority-ordered, deadline-aware (expired ⇒ 504, never dispatched).
+* The **worker coroutine** pops same-graph batches and hands each
+  request to a single dedicated engine thread
+  (``ThreadPoolExecutor(max_workers=1)``): engine sessions are
+  single-caller objects, so all graph work serializes on that thread
+  while the loop stays responsive.  Per-request deadlines bound the
+  *queue wait*; once dispatched, a request runs to completion under the
+  engine's own :class:`~repro.parallel.supervisor.PoolSupervisor`
+  deadline machinery (the ``timeout`` every session is built with).
+
+Results travel through futures as plain ``("ok", payload)`` /
+``("error", status, detail)`` tuples — no exceptions are parked in
+futures, so abandoned requests never log retrieval warnings.
+
+Endpoints: ``POST /query`` (JSON: ``graph``, ``kind``, per-kind params,
+``priority``, ``timeout_s``), ``GET /health``, ``GET /metrics``,
+``GET /graphs``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ParameterError, ReproError
+from repro.serve.metrics import ServerMetrics
+from repro.serve.protocol import (
+    HttpError,
+    HttpRequest,
+    json_response,
+    read_request,
+)
+from repro.serve.queue import (
+    DEFAULT_PRIORITY,
+    BoundedRequestQueue,
+    QueuedRequest,
+    QueueFullError,
+)
+from repro.serve.registry import QUERY_KINDS, GraphRegistry, execute_query
+
+__all__ = ["ServeConfig", "SkylineServer", "ServerThread", "run_server"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one serving process."""
+
+    host: str = "127.0.0.1"
+    port: int = 8321  # 0 = ephemeral (the bound port is reported)
+    queue_capacity: int = 64
+    batch_max: int = 8
+    #: Default per-request deadline (queue wait), seconds; ``None``
+    #: waits forever.  Clients override per request via ``timeout_s``.
+    default_timeout_s: Optional[float] = 30.0
+    #: Serve at most this many ``/query`` requests, then shut down
+    #: (``None`` = forever).  Smoke tests and the CLI's --max-requests.
+    max_requests: Optional[int] = None
+
+    def validate(self) -> None:
+        """Reject out-of-range knobs with ParameterError (fail fast)."""
+        if self.queue_capacity < 1:
+            raise ParameterError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.batch_max < 1:
+            raise ParameterError(
+                f"batch_max must be >= 1, got {self.batch_max}"
+            )
+        if self.default_timeout_s is not None and self.default_timeout_s <= 0:
+            raise ParameterError(
+                "default_timeout_s must be > 0 or None, got "
+                f"{self.default_timeout_s}"
+            )
+        if self.max_requests is not None and self.max_requests < 0:
+            raise ParameterError(
+                f"max_requests must be >= 0 or None, got {self.max_requests}"
+            )
+
+
+class SkylineServer:
+    """One serving process: registry + queue + worker + HTTP front."""
+
+    def __init__(self, registry: GraphRegistry, config: ServeConfig):
+        config.validate()
+        self.registry = registry
+        self.config = config
+        self.metrics = ServerMetrics()
+        self.queue = BoundedRequestQueue(
+            config.queue_capacity,
+            on_expire=self._on_expire,
+            clock=time.monotonic,
+        )
+        self.port: Optional[int] = None  # bound port, set by start()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._worker_task: Optional[asyncio.Task] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._wake = asyncio.Event()
+        #: Test hook: clearing this gate pauses dispatch (requests pile
+        #: up in the queue) without touching admission — the
+        #: deterministic way to drive the 429 path end-to-end.
+        self.dispatch_gate = asyncio.Event()
+        self.dispatch_gate.set()
+        self._closing = False  # stop admitting/dispatching new work
+        self._close_started = False  # a close() call is in progress
+        self._closed = asyncio.Event()
+        self._limit_reached = asyncio.Event()
+        self._served_queries = 0
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        """Bind the socket, start the engine executor and the worker."""
+        self._loop = asyncio.get_running_loop()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-engine"
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.config.max_requests == 0:
+            # A zero budget is already spent: trip the limit before the
+            # worker dispatches anything (lifecycle smoke tests).
+            self._closing = True
+            self._limit_reached.set()
+        self._worker_task = asyncio.create_task(
+            self._worker(), name="repro-serve-worker"
+        )
+
+    async def close(self) -> None:
+        """Stop accepting, fail queued work with 503, tear sessions down.
+
+        Idempotent.  Ordering matters: the engine thread drains before
+        the registry closes, so no session is closed mid-call.
+        """
+        if self._close_started:
+            await self._closed.wait()
+            return
+        self._close_started = True
+        self._closing = True
+        self._wake.set()
+        self.dispatch_gate.set()  # a paused server must still shut down
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._worker_task is not None:
+            await self._worker_task
+        for request in self.queue.drain():
+            self._finish(request, ("error", 503, "server shutting down"))
+        if self._executor is not None:
+            # One final hop through the (now idle) engine thread, then a
+            # blocking-but-instant shutdown.
+            self._executor.shutdown(wait=True)
+        self.registry.close()
+        self._closed.set()
+
+    async def wait_closed(self) -> None:
+        """Block until a close() from any path has fully completed."""
+        await self._closed.wait()
+
+    # -- queue plumbing ------------------------------------------------
+    def _finish(self, request: QueuedRequest, outcome: tuple) -> None:
+        future = request.payload["future"]
+        if not future.done():
+            future.set_result(outcome)
+
+    def _on_expire(self, request: QueuedRequest) -> None:
+        self.metrics.record_request(request.kind, 504)
+        self._finish(
+            request,
+            (
+                "error",
+                504,
+                f"deadline expired after {request.payload['timeout_s']}s "
+                "in queue",
+            ),
+        )
+
+    # -- worker --------------------------------------------------------
+    async def _worker(self) -> None:
+        loop = self._loop
+        while True:
+            await self.dispatch_gate.wait()
+            batch = self.queue.pop_batch(self.config.batch_max)
+            if not batch:
+                if self._closing:
+                    return
+                self._wake.clear()
+                # Re-check after clearing: an enqueue may have raced us.
+                if len(self.queue) or self._closing:
+                    continue
+                await self._wake.wait()
+                continue
+            self.metrics.record_batch(len(batch))
+            for wait in self.queue.wait_seconds:
+                self.metrics.queue_wait.observe(wait)
+            self.queue.wait_seconds.clear()
+            entry = self.registry.entry(batch[0].graph)
+            for request in batch:
+                future = request.payload["future"]
+                if future.done():  # client connection died and cancelled
+                    continue
+                started = time.monotonic()
+                try:
+                    result = await loop.run_in_executor(
+                        self._executor,
+                        execute_query,
+                        entry,
+                        request.kind,
+                        request.payload["params"],
+                    )
+                except ParameterError as exc:
+                    self.metrics.record_request(request.kind, 400)
+                    self._finish(request, ("error", 400, str(exc)))
+                except ReproError as exc:
+                    self.metrics.record_request(request.kind, 500)
+                    self._finish(request, ("error", 500, str(exc)))
+                except Exception as exc:  # engine bug: fail the request,
+                    # keep serving — one poisoned query must not take
+                    # the process down.
+                    self.metrics.record_request(request.kind, 500)
+                    self._finish(
+                        request,
+                        ("error", 500, f"{type(exc).__name__}: {exc}"),
+                    )
+                else:
+                    self.metrics.service_time.observe(
+                        time.monotonic() - started
+                    )
+                    self.metrics.absorb_engine_counters(
+                        result.pop("_counters", None)
+                    )
+                    self.metrics.record_request(request.kind, 200)
+                    self._finish(request, ("ok", result))
+                self._served_queries += 1
+                limit = self.config.max_requests
+                if limit is not None and self._served_queries >= limit:
+                    self._closing = True
+                    self._limit_reached.set()
+            if self._closing and not len(self.queue):
+                return
+
+    # -- HTTP front ----------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            try:
+                request = await read_request(reader)
+            except HttpError as exc:
+                writer.write(
+                    json_response(exc.status, {"error": exc.detail})
+                )
+                return
+            if request is None:
+                return
+            writer.write(await self._route(request))
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                await writer.drain()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _route(self, request: HttpRequest) -> bytes:
+        path, method = request.path, request.method
+        if path == "/health":
+            if method != "GET":
+                return json_response(405, {"error": "use GET /health"})
+            return json_response(200, self.health())
+        if path == "/metrics":
+            if method != "GET":
+                return json_response(405, {"error": "use GET /metrics"})
+            return json_response(
+                200, self.metrics.as_dict(queue_counters=self.queue.counters())
+            )
+        if path == "/graphs":
+            if method != "GET":
+                return json_response(405, {"error": "use GET /graphs"})
+            return json_response(200, {"graphs": self.registry.describe()})
+        if path == "/query":
+            if method != "POST":
+                return json_response(405, {"error": "use POST /query"})
+            return await self._handle_query(request)
+        return json_response(
+            404,
+            {
+                "error": f"no route {path!r}",
+                "routes": ["/health", "/metrics", "/graphs", "/query"],
+            },
+        )
+
+    def health(self) -> dict:
+        """The /health body: status, graph names, queue counters."""
+        return {
+            "status": "closing" if self._closing else "ok",
+            "graphs": list(self.registry.names()),
+            "queue": self.queue.counters(),
+            "served_queries": self._served_queries,
+        }
+
+    async def _handle_query(self, request: HttpRequest) -> bytes:
+        try:
+            spec = self._parse_query(request)
+        except HttpError as exc:
+            return json_response(exc.status, {"error": exc.detail})
+        if self._closing:
+            return json_response(503, {"error": "server shutting down"})
+
+        future: asyncio.Future = self._loop.create_future()
+        timeout_s = spec["timeout_s"]
+        deadline = (
+            None if timeout_s is None else time.monotonic() + timeout_s
+        )
+        queued = QueuedRequest(
+            graph=spec["graph"],
+            kind=spec["kind"],
+            payload={
+                "params": spec["params"],
+                "future": future,
+                "timeout_s": timeout_s,
+            },
+            priority=spec["priority"],
+            deadline=deadline,
+        )
+        try:
+            self.queue.push(queued)
+        except QueueFullError as exc:
+            self.metrics.record_request(spec["kind"], 429)
+            return json_response(
+                429,
+                {"error": str(exc), "queue": self.queue.counters()},
+                extra_headers={"Retry-After": "1"},
+            )
+        self._wake.set()
+        if timeout_s is not None:
+            # The queue purges on push/pop; this timer guarantees the
+            # 504 fires at the deadline even if the worker is busy on a
+            # long engine call and never pops.
+            self._loop.call_later(timeout_s, self.queue.purge_expired)
+        outcome = await future
+        if outcome[0] == "ok":
+            return json_response(
+                200,
+                {
+                    "graph": spec["graph"],
+                    "kind": spec["kind"],
+                    "result": outcome[1],
+                },
+            )
+        _, status, detail = outcome
+        return json_response(status, {"error": detail})
+
+    def _parse_query(self, request: HttpRequest) -> dict:
+        payload = request.json_body()
+        graph = payload.get("graph")
+        if not isinstance(graph, str) or not graph:
+            raise HttpError(400, "'graph' must be a non-empty string")
+        if graph not in self.registry.names():
+            raise HttpError(
+                404,
+                f"unknown graph {graph!r}; hosted graphs: "
+                f"{list(self.registry.names())}",
+            )
+        kind = payload.get("kind")
+        if kind not in QUERY_KINDS:
+            raise HttpError(
+                400,
+                f"'kind' must be one of {list(QUERY_KINDS)}, got {kind!r}",
+            )
+        priority = payload.get("priority", DEFAULT_PRIORITY)
+        if isinstance(priority, bool) or not isinstance(priority, int):
+            raise HttpError(400, f"'priority' must be an integer, got {priority!r}")
+        timeout_s = payload.get("timeout_s", self.config.default_timeout_s)
+        if timeout_s is not None:
+            if isinstance(timeout_s, bool) or not isinstance(
+                timeout_s, (int, float)
+            ):
+                raise HttpError(
+                    400, f"'timeout_s' must be a number, got {timeout_s!r}"
+                )
+            if timeout_s <= 0:
+                raise HttpError(
+                    400, f"'timeout_s' must be > 0, got {timeout_s}"
+                )
+            timeout_s = float(timeout_s)
+        params = {
+            key: value
+            for key, value in payload.items()
+            if key not in ("graph", "kind", "priority", "timeout_s")
+        }
+        return {
+            "graph": graph,
+            "kind": kind,
+            "priority": priority,
+            "timeout_s": timeout_s,
+            "params": params,
+        }
+
+
+# ---------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------
+async def _serve(
+    registry: GraphRegistry,
+    config: ServeConfig,
+    *,
+    announce=None,
+    stop_event: Optional[asyncio.Event] = None,
+) -> SkylineServer:
+    server = SkylineServer(registry, config)
+    await server.start()
+    if announce is not None:
+        announce(server)
+    try:
+        waiters = [asyncio.create_task(server._limit_reached.wait())]
+        if stop_event is not None:
+            waiters.append(asyncio.create_task(stop_event.wait()))
+        # With neither a stop event nor a request limit this waits
+        # forever; Ctrl-C unwinds through the finally.
+        await asyncio.wait(waiters, return_when=asyncio.FIRST_COMPLETED)
+        for waiter in waiters:
+            waiter.cancel()
+    finally:
+        await server.close()
+    return server
+
+
+def run_server(registry: GraphRegistry, config: ServeConfig, *, announce=None) -> int:
+    """Blocking entry point (the CLI's ``repro serve``).
+
+    Serves until Ctrl-C or ``config.max_requests`` queries; returns the
+    conventional exit code (0 normal, 130 on interrupt).  Sessions and
+    segments are torn down on every path.
+    """
+    try:
+        asyncio.run(_serve(registry, config, announce=announce))
+    except KeyboardInterrupt:
+        registry.close()  # idempotent; asyncio.run already unwound close()
+        return 130
+    return 0
+
+
+class ServerThread:
+    """A live server on a background thread — the test/benchmark harness.
+
+    Runs its own event loop so synchronous clients (``http.client``,
+    load generators, pytest) can talk to a real socket::
+
+        with ServerThread(registry, config) as handle:
+            resp = handle.request("POST", "/query", {...})
+
+    ``stop()`` requests a clean in-loop shutdown and joins the thread.
+    """
+
+    def __init__(self, registry: GraphRegistry, config: ServeConfig):
+        self.registry = registry
+        self.config = config
+        self.server: Optional[SkylineServer] = None
+        self._ready = threading.Event()
+        self._stop_event: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def _run(self) -> None:
+        async def main():
+            self._loop = asyncio.get_running_loop()
+            self._stop_event = asyncio.Event()
+
+            def announce(server):
+                self.server = server
+                self._ready.set()
+
+            await _serve(
+                self.registry,
+                self.config,
+                announce=announce,
+                stop_event=self._stop_event,
+            )
+
+        try:
+            asyncio.run(main())
+        except BaseException as exc:  # surface startup/serve failures
+            self._startup_error = exc
+            self._ready.set()
+
+    def start(self) -> "ServerThread":
+        """Launch the thread and wait until the server is listening."""
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise RuntimeError(
+                "server thread failed to start"
+            ) from self._startup_error
+        if self.server is None:
+            raise RuntimeError("server thread did not become ready")
+        return self
+
+    def call_in_loop(self, fn, *args) -> None:
+        """Run ``fn(*args)`` on the server's event loop (test hooks)."""
+        self._loop.call_soon_threadsafe(fn, *args)
+
+    def stop(self) -> None:
+        """Request in-loop shutdown and join the thread."""
+        if self._loop is not None and self._stop_event is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass  # loop already closed
+        self._thread.join(timeout=30)
+        if self._thread.is_alive():
+            raise RuntimeError("server thread did not shut down")
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- synchronous client (stdlib http.client) -----------------------
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        *,
+        timeout: float = 60.0,
+    ) -> tuple[int, dict]:
+        """One HTTP round-trip; returns ``(status, decoded_json)``."""
+        import http.client
+        import json as _json
+
+        conn = http.client.HTTPConnection(
+            self.config.host, self.port, timeout=timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = _json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            return response.status, _json.loads(data.decode("utf-8"))
+        finally:
+            conn.close()

@@ -1,0 +1,39 @@
+"""Segment-hygiene guard for every test in ``tests/serve``.
+
+The serving layer owns warm engine sessions (and through them the
+shared-memory data plane), so the same mechanical zero-residue contract
+enforced in ``tests/parallel/conftest.py`` applies here: each test
+snapshots ``/dev/shm`` on setup and asserts on teardown that no
+``repro_*`` segment born during the test survived it — server shutdown
+must tear down every session it ever warmed.
+"""
+
+from __future__ import annotations
+
+import gc
+import glob
+
+
+def _shm_segments() -> set:
+    return set(glob.glob("/dev/shm/repro_*"))
+
+
+def pytest_runtest_setup(item):
+    item._shm_before = _shm_segments()
+
+
+def pytest_runtest_teardown(item, nextitem):
+    before = getattr(item, "_shm_before", None)
+    if before is None:
+        return
+    gc.collect()
+    leaked = _shm_segments() - before
+    assert not leaked, (
+        f"test leaked shared-memory segments: {sorted(leaked)}"
+    )
+    from repro.parallel.shm import live_segment_names
+
+    assert live_segment_names() == (), (
+        "test left parent-owned segments in the plane registry: "
+        f"{live_segment_names()}"
+    )

@@ -1,0 +1,277 @@
+"""Deterministic stateful testing of :class:`BoundedRequestQueue`.
+
+A Hypothesis :class:`~hypothesis.stateful.RuleBasedStateMachine` drives
+enqueue / dequeue / clock-advance / purge transitions against a plain
+model (a dict of live requests plus an explicit fake clock) and asserts
+after every step:
+
+* **priority order** — every popped batch head is the globally most
+  urgent live request, ties FIFO by arrival sequence, and batch
+  followers are the most urgent remaining requests *of the same graph*;
+* **bounded depth** — the queue never holds more than ``capacity``
+  live requests, and a push at capacity raises
+  :class:`QueueFullError` (counted as a rejection) instead of growing;
+* **expiry at the boundary** — a request whose deadline passed is
+  completed via ``on_expire`` exactly once and is **never** returned
+  by ``pop_batch`` — expired requests cannot reach an engine;
+* **conservation** — every admitted request ends in exactly one of
+  {dispatched, expired, still-live, drained}.
+
+The clock is injected, so every run is fully deterministic and every
+failure shrinks to a tiny transition sequence.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.serve.queue import (
+    BoundedRequestQueue,
+    QueuedRequest,
+    QueueFullError,
+)
+
+CAPACITY = 5
+GRAPHS = ("g0", "g1")
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class QueueMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.clock = FakeClock()
+        self.expired: list[QueuedRequest] = []
+        self.queue = BoundedRequestQueue(
+            CAPACITY, on_expire=self.expired.append, clock=self.clock
+        )
+        # Model: seq -> request for everything the model believes live.
+        self.model: dict[int, QueuedRequest] = {}
+        self.dispatched: list[QueuedRequest] = []
+        self.admitted = 0
+
+    # -- helpers -------------------------------------------------------
+    def _model_expire(self, now: float) -> None:
+        for seq in [
+            s for s, r in self.model.items() if r.expired(now)
+        ]:
+            del self.model[seq]
+
+    def _most_urgent(self, requests) -> QueuedRequest:
+        return min(requests, key=lambda r: (r.priority, r.seq))
+
+    # -- transitions ---------------------------------------------------
+    @rule(
+        graph=st.sampled_from(GRAPHS),
+        priority=st.integers(min_value=0, max_value=3),
+        ttl=st.one_of(
+            st.none(), st.floats(min_value=0.0, max_value=5.0)
+        ),
+    )
+    def enqueue(self, graph, priority, ttl):
+        now = self.clock.now
+        deadline = None if ttl is None else now + ttl
+        request = QueuedRequest(
+            graph=graph,
+            kind="skyline",
+            priority=priority,
+            deadline=deadline,
+        )
+        self._model_expire(now)
+        if len(self.model) >= CAPACITY:
+            with pytest.raises(QueueFullError):
+                self.queue.push(request)
+            return
+        self.queue.push(request)
+        self.admitted += 1
+        assert request.seq >= 0, "push must assign the arrival sequence"
+        if request.expired(now):
+            # Born expired (ttl == 0): expired on the spot, never live.
+            assert self.expired and self.expired[-1] is request
+        else:
+            self.model[request.seq] = request
+
+    @rule(delta=st.floats(min_value=0.25, max_value=3.0))
+    def advance_time(self, delta):
+        self.clock.now += delta
+
+    @rule()
+    def purge(self):
+        self.queue.purge_expired()
+        self._model_expire(self.clock.now)
+
+    @rule(batch_max=st.integers(min_value=1, max_value=4))
+    def pop_batch(self, batch_max):
+        now = self.clock.now
+        self._model_expire(now)
+        batch = self.queue.pop_batch(batch_max)
+        if not self.model:
+            assert batch == []
+            return
+        assert batch, "live requests pending but pop returned nothing"
+        assert len(batch) <= batch_max
+        head = batch[0]
+        expected_head = self._most_urgent(self.model.values())
+        assert (head.priority, head.seq) == (
+            expected_head.priority,
+            expected_head.seq,
+        ), "batch head must be the globally most urgent live request"
+        del self.model[head.seq]
+        # Followers: same graph as the head, in priority order, and the
+        # most urgent same-graph requests the model knows about.
+        same_graph_live = sorted(
+            (r for r in self.model.values() if r.graph == head.graph),
+            key=lambda r: (r.priority, r.seq),
+        )
+        followers = batch[1:]
+        assert followers == same_graph_live[: len(followers)]
+        for request in followers:
+            assert request.graph == head.graph
+            del self.model[request.seq]
+        for a, b in zip(batch, batch[1:]):
+            assert (a.priority, a.seq) <= (b.priority, b.seq)
+        for request in batch:
+            assert not request.expired(now), (
+                "an expired request reached the dispatcher"
+            )
+        self.dispatched.extend(batch)
+
+    # -- invariants ----------------------------------------------------
+    @invariant()
+    def depth_matches_model_and_bound(self):
+        assert self.queue.depth == len(self.model)
+        assert self.queue.depth <= CAPACITY
+
+    @invariant()
+    def expired_never_dispatched(self):
+        expired_seqs = {r.seq for r in self.expired}
+        dispatched_seqs = {r.seq for r in self.dispatched}
+        assert not (expired_seqs & dispatched_seqs)
+
+    @invariant()
+    def conservation(self):
+        # admitted = dispatched + expired + live (drain not exercised
+        # mid-run; see test_drain below).
+        assert self.admitted == (
+            len(self.dispatched) + len(self.expired) + len(self.model)
+        )
+
+    @invariant()
+    def counters_consistent(self):
+        counters = self.queue.counters()
+        assert counters["depth"] == self.queue.depth
+        assert counters["expired_total"] == len(self.expired)
+        assert counters["dequeued_total"] == len(self.dispatched)
+        assert counters["enqueued_total"] == self.admitted
+
+
+TestBoundedQueueStateful = QueueMachine.TestCase
+TestBoundedQueueStateful.settings = settings(
+    max_examples=60, deadline=None
+)
+
+
+# ---------------------------------------------------------------------
+# Directed unit tests for the transitions the machine samples
+# ---------------------------------------------------------------------
+def _queue(capacity=4, **kwargs):
+    clock = FakeClock()
+    expired = []
+    queue = BoundedRequestQueue(
+        capacity, on_expire=expired.append, clock=clock, **kwargs
+    )
+    return queue, clock, expired
+
+
+def _request(graph="g", priority=10, deadline=None, kind="skyline"):
+    return QueuedRequest(
+        graph=graph, kind=kind, priority=priority, deadline=deadline
+    )
+
+
+def test_priority_order_with_fifo_ties():
+    queue, _, _ = _queue(capacity=8)
+    low = queue.push(_request(priority=20))
+    first_urgent = queue.push(_request(priority=1))
+    second_urgent = queue.push(_request(priority=1))
+    batch = queue.pop_batch(3)
+    assert [r.seq for r in batch] == [
+        first_urgent.seq,
+        second_urgent.seq,
+        low.seq,
+    ]
+
+
+def test_backpressure_rejects_and_counts():
+    queue, _, _ = _queue(capacity=2)
+    queue.push(_request())
+    queue.push(_request())
+    with pytest.raises(QueueFullError):
+        queue.push(_request())
+    assert queue.rejected_total == 1
+    assert queue.depth == 2  # bounded: the reject did not grow the queue
+
+
+def test_expired_requests_never_reach_a_dispatcher():
+    queue, clock, expired = _queue(capacity=4)
+    doomed = queue.push(_request(deadline=1.0))
+    survivor = queue.push(_request(deadline=10.0))
+    clock.now = 2.0
+    batch = queue.pop_batch(4)
+    assert [r.seq for r in batch] == [survivor.seq]
+    assert [r.seq for r in expired] == [doomed.seq]
+    assert queue.expired_total == 1
+
+
+def test_expired_backlog_cannot_wedge_admission():
+    queue, clock, expired = _queue(capacity=2)
+    queue.push(_request(deadline=1.0))
+    queue.push(_request(deadline=1.0))
+    clock.now = 5.0
+    # Both live slots are stale; a new push purges them and is admitted.
+    fresh = queue.push(_request(deadline=10.0))
+    assert queue.depth == 1
+    assert len(expired) == 2
+    assert queue.pop_batch(1)[0].seq == fresh.seq
+
+
+def test_batching_is_same_graph_only():
+    queue, _, _ = _queue(capacity=8)
+    a0 = queue.push(_request(graph="a", priority=1))
+    b0 = queue.push(_request(graph="b", priority=2))
+    a1 = queue.push(_request(graph="a", priority=3))
+    batch = queue.pop_batch(3)
+    assert [r.seq for r in batch] == [a0.seq, a1.seq]
+    assert queue.pop_batch(3)[0].seq == b0.seq
+
+
+def test_drain_returns_pending_in_priority_order():
+    queue, _, _ = _queue(capacity=8)
+    late = queue.push(_request(priority=9))
+    early = queue.push(_request(priority=1))
+    drained = queue.drain()
+    assert [r.seq for r in drained] == [early.seq, late.seq]
+    assert queue.depth == 0
+    assert queue.pop_batch(1) == []
+
+
+def test_born_expired_is_expired_not_rejected():
+    queue, clock, expired = _queue(capacity=4)
+    clock.now = 3.0
+    request = queue.push(_request(deadline=2.0))
+    assert [r.seq for r in expired] == [request.seq]
+    assert queue.depth == 0
+    assert queue.rejected_total == 0

@@ -1,0 +1,124 @@
+"""Unit tests for the multi-graph registry and the query dispatcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.filter_refine import filter_refine_sky
+from repro.errors import ParameterError, ReproError
+from repro.serve.registry import (
+    GraphRegistry,
+    execute_query,
+    parse_graph_spec,
+)
+from repro.workloads import load
+
+
+def test_parse_graph_spec_forms():
+    assert parse_graph_spec("karate") == ("karate", "dataset", "karate")
+    assert parse_graph_spec("web=/tmp/web.edges") == (
+        "web",
+        "edge_list",
+        "/tmp/web.edges",
+    )
+    with pytest.raises(ParameterError):
+        parse_graph_spec("=path")
+    with pytest.raises(ParameterError):
+        parse_graph_spec("name=")
+
+
+def test_register_dataset_and_edge_list(tmp_path):
+    edge_file = tmp_path / "tiny.edges"
+    edge_file.write_text("# triangle plus tail\n0 1\n1 2\n0 2\n2 3\n")
+    registry = GraphRegistry()
+    try:
+        registry.register_spec("karate")
+        entry = registry.register_spec(f"tiny={edge_file}")
+        assert registry.names() == ("karate", "tiny")
+        assert entry.graph.num_vertices == 4
+        assert entry.source == f"edge_list:{edge_file}"
+    finally:
+        registry.close()
+
+
+def test_duplicate_and_unknown_names_are_rejected():
+    registry = GraphRegistry()
+    try:
+        registry.register("g", load("karate"))
+        with pytest.raises(ParameterError, match="already registered"):
+            registry.register("g", load("karate"))
+        with pytest.raises(ParameterError, match="unknown graph"):
+            registry.entry("missing")
+    finally:
+        registry.close()
+
+
+def test_session_is_lazy_and_skyline_cached():
+    registry = GraphRegistry()
+    try:
+        entry = registry.register("karate", load("karate"))
+        assert entry.describe()["session"] == "cold"
+        assert entry.describe()["skyline_cached"] is False
+        first = entry.skyline_result()
+        assert entry.describe()["session"] == "warm"
+        assert entry.describe()["skyline_cached"] is True
+        assert entry.skyline_result() is first  # cached, not recomputed
+    finally:
+        registry.close()
+
+
+def test_close_is_idempotent_and_blocks_registration():
+    registry = GraphRegistry()
+    entry = registry.register("karate", load("karate"))
+    entry.skyline_result()  # warm the session
+    registry.close()
+    registry.close()  # second close is a no-op
+    with pytest.raises(ReproError):
+        registry.register("again", load("karate"))
+
+
+def test_execute_query_matches_direct_calls():
+    graph = load("karate")
+    registry = GraphRegistry()
+    try:
+        entry = registry.register("karate", graph)
+        direct = filter_refine_sky(graph)
+
+        skyline = execute_query(entry, "skyline", {})
+        assert tuple(skyline["skyline"]) == direct.skyline
+        assert tuple(skyline["dominator"]) == direct.dominator
+        assert skyline["candidate_size"] == direct.candidate_size
+
+        from repro.centrality import neisky_gh
+
+        group = execute_query(
+            entry, "group", {"k": 4, "measure": "harmonic"}
+        )
+        expected = neisky_gh(graph, 4, skyline=direct.skyline)
+        assert tuple(group["group"]) == expected.group
+        assert tuple(group["gains"]) == expected.gains
+
+        from repro.clique import neisky_topk_mcc
+
+        clique = execute_query(entry, "clique", {"top_k": 2})
+        assert clique["cliques"] == neisky_topk_mcc(graph, 2)
+    finally:
+        registry.close()
+
+
+def test_execute_query_validates_parameters():
+    registry = GraphRegistry()
+    try:
+        entry = registry.register("karate", load("karate"))
+        with pytest.raises(ParameterError, match="unknown query kind"):
+            execute_query(entry, "mystery", {})
+        with pytest.raises(ParameterError, match="measure"):
+            execute_query(entry, "group", {"measure": "pagerank"})
+        with pytest.raises(ParameterError, match="k must be"):
+            execute_query(entry, "group", {"k": -1})
+        with pytest.raises(ParameterError, match="top_k"):
+            execute_query(entry, "clique", {"top_k": 0})
+        with pytest.raises(ParameterError, match="k must be an integer"):
+            execute_query(entry, "group", {"k": True})
+    finally:
+        registry.close()

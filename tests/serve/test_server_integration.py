@@ -1,0 +1,280 @@
+"""End-to-end serving tests: live server, real sockets, real sessions.
+
+A :class:`~repro.serve.server.ServerThread` fixture runs the full
+asyncio server on an ephemeral port with two registered graphs.  The
+contracts under test:
+
+* served ``skyline`` / ``group`` / ``clique`` responses are
+  **bit-for-bit identical** to the corresponding direct API calls
+  (``filter_refine_sky`` ≡ ``filter_refine_bitset`` ≡ the parallel
+  engine; the Base*/NeiSky* greedy drivers; the clique stack);
+* concurrent clients across both graphs all succeed and agree with the
+  direct results;
+* ``/metrics`` and ``/health`` expose the documented schema;
+* error paths map to the documented statuses (404 unknown graph /
+  route, 400 bad input, 405 wrong method, 429 full queue, 504 expired
+  deadline);
+* shutdown is clean: no leaked ``/dev/shm`` segment (enforced by this
+  directory's conftest hooks) and no stray server thread.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.centrality import neisky_gc, neisky_gh
+from repro.clique import neisky_mc, neisky_topk_mcc
+from repro.core import neighborhood_skyline
+from repro.core.filter_refine import filter_refine_sky
+from repro.serve import GraphRegistry, ServeConfig, ServerThread
+from repro.workloads import load
+
+GRAPHS = ("karate", "bombing_proxy")
+
+
+@pytest.fixture(scope="module")
+def server():
+    registry = GraphRegistry(workers=1)
+    for name in GRAPHS:
+        registry.register_spec(name)
+    config = ServeConfig(
+        port=0, queue_capacity=32, batch_max=4, default_timeout_s=60.0
+    )
+    with ServerThread(registry, config) as handle:
+        yield handle
+
+
+def _query(server, payload, expect=200):
+    status, doc = server.request("POST", "/query", payload)
+    assert status == expect, doc
+    return doc
+
+
+# ---------------------------------------------------------------------
+# Bit-for-bit equality with the direct API
+# ---------------------------------------------------------------------
+@pytest.mark.parametrize("name", GRAPHS)
+def test_served_skyline_equals_direct_calls(server, name):
+    graph = load(name)
+    doc = _query(server, {"graph": name, "kind": "skyline"})
+    result = doc["result"]
+    sequential = filter_refine_sky(graph)
+    bitset = neighborhood_skyline(graph, algorithm="filter_refine_bitset")
+    assert tuple(result["skyline"]) == sequential.skyline == bitset.skyline
+    assert tuple(result["dominator"]) == sequential.dominator
+    assert result["candidate_size"] == sequential.candidate_size
+    assert result["size"] == sequential.size
+
+
+@pytest.mark.parametrize("name", GRAPHS)
+@pytest.mark.parametrize("measure", ("closeness", "harmonic"))
+def test_served_group_equals_direct_greedy(server, name, measure):
+    graph = load(name)
+    doc = _query(
+        server,
+        {"graph": name, "kind": "group", "k": 4, "measure": measure},
+    )
+    result = doc["result"]
+    run = neisky_gc if measure == "closeness" else neisky_gh
+    direct = run(graph, 4)
+    assert tuple(result["group"]) == direct.group
+    assert tuple(result["gains"]) == direct.gains
+    assert result["evaluations"] == direct.evaluations
+    assert result["pool_size"] == direct.pool_size
+
+
+@pytest.mark.parametrize("name", GRAPHS)
+def test_served_clique_equals_direct_stack(server, name):
+    graph = load(name)
+    top1 = _query(server, {"graph": name, "kind": "clique"})["result"]
+    assert top1["cliques"] == [neisky_mc(graph)]
+    top3 = _query(
+        server, {"graph": name, "kind": "clique", "top_k": 3}
+    )["result"]
+    assert top3["cliques"] == neisky_topk_mcc(graph, 3)
+    assert top3["sizes"] == [len(c) for c in top3["cliques"]]
+
+
+def test_concurrent_clients_across_graphs(server):
+    """A burst of mixed queries over both graphs, all bit-for-bit."""
+    expected = {
+        name: filter_refine_sky(load(name)).skyline for name in GRAPHS
+    }
+    payloads = [
+        {"graph": GRAPHS[i % 2], "kind": "skyline", "priority": i % 3}
+        for i in range(12)
+    ]
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        docs = list(
+            pool.map(lambda p: _query(server, p), payloads)
+        )
+    for payload, doc in zip(payloads, docs):
+        assert doc["graph"] == payload["graph"]
+        assert (
+            tuple(doc["result"]["skyline"]) == expected[payload["graph"]]
+        )
+
+
+# ---------------------------------------------------------------------
+# Observability schema
+# ---------------------------------------------------------------------
+def test_health_schema(server):
+    status, doc = server.request("GET", "/health")
+    assert status == 200
+    assert doc["status"] == "ok"
+    assert doc["graphs"] == sorted(GRAPHS)
+    assert {
+        "depth",
+        "capacity",
+        "enqueued_total",
+        "dequeued_total",
+        "rejected_total",
+        "expired_total",
+    } <= set(doc["queue"])
+    assert isinstance(doc["served_queries"], int)
+
+
+def test_metrics_schema(server):
+    _query(server, {"graph": "karate", "kind": "skyline"})
+    status, doc = server.request("GET", "/metrics")
+    assert status == 200
+    assert set(doc) == {
+        "requests",
+        "queue",
+        "queue_wait",
+        "service_time",
+        "batches",
+        "engine",
+    }
+    assert doc["requests"]["skyline"]["200"] >= 1
+    for histogram in (doc["queue_wait"], doc["service_time"]):
+        assert {"count", "sum_s", "buckets"} <= set(histogram)
+        assert histogram["count"] >= 1
+        assert "p99_s" in histogram
+    assert {"counters", "extra", "session_calls"} == set(doc["engine"])
+    # The warm-session telemetry flows through: the first pooled call
+    # was cold, everything else warm (workers=1 stays in-process, so
+    # session_calls may be empty — but the engine counters must sum).
+    assert doc["engine"]["counters"].get("pair_tests", 0) > 0
+    assert doc["queue"]["capacity"] == 32
+
+
+def test_graphs_listing(server):
+    status, doc = server.request("GET", "/graphs")
+    assert status == 200
+    by_name = {g["name"]: g for g in doc["graphs"]}
+    assert set(by_name) == set(GRAPHS)
+    karate = by_name["karate"]
+    assert karate["vertices"] == 34
+    assert karate["edges"] == 78
+    assert karate["source"] == "dataset:karate"
+
+
+# ---------------------------------------------------------------------
+# Error paths
+# ---------------------------------------------------------------------
+def test_unknown_graph_is_404(server):
+    doc = _query(
+        server, {"graph": "atlantis", "kind": "skyline"}, expect=404
+    )
+    assert "unknown graph" in doc["error"]
+
+
+def test_bad_inputs_are_400(server):
+    _query(server, {"graph": "karate", "kind": "pagerank"}, expect=400)
+    _query(server, {"kind": "skyline"}, expect=400)
+    _query(
+        server,
+        {"graph": "karate", "kind": "skyline", "priority": "high"},
+        expect=400,
+    )
+    _query(
+        server,
+        {"graph": "karate", "kind": "skyline", "timeout_s": -1},
+        expect=400,
+    )
+    _query(
+        server,
+        {"graph": "karate", "kind": "group", "k": -3},
+        expect=400,
+    )
+
+
+def test_unknown_route_404_and_wrong_method_405(server):
+    status, doc = server.request("GET", "/nope")
+    assert status == 404
+    assert "/query" in doc["routes"]
+    status, _ = server.request("GET", "/query")
+    assert status == 405
+    status, _ = server.request("POST", "/metrics", {})
+    assert status == 405
+
+
+def test_non_json_body_is_400(server):
+    import http.client
+
+    conn = http.client.HTTPConnection(
+        server.config.host, server.port, timeout=30
+    )
+    try:
+        conn.request("POST", "/query", body=b"not json at all")
+        response = conn.getresponse()
+        assert response.status == 400
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------
+# Backpressure and deadlines, end to end (dedicated server: the
+# dispatch gate pauses the worker, so requests pile up deterministically)
+# ---------------------------------------------------------------------
+def test_backpressure_and_deadline_end_to_end():
+    registry = GraphRegistry(workers=1)
+    registry.register_spec("karate")
+    config = ServeConfig(
+        port=0, queue_capacity=2, batch_max=2, default_timeout_s=30.0
+    )
+    with ServerThread(registry, config) as handle:
+        handle.call_in_loop(handle.server.dispatch_gate.clear)
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            # Two requests fill the queue (worker is paused)...
+            queued = [
+                pool.submit(
+                    handle.request,
+                    "POST",
+                    "/query",
+                    {
+                        "graph": "karate",
+                        "kind": "skyline",
+                        "timeout_s": 0.3,
+                    },
+                )
+                for _ in range(2)
+            ]
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                _, health = handle.request("GET", "/health")
+                if health["queue"]["depth"] == 2:
+                    break
+                time.sleep(0.01)
+            assert health["queue"]["depth"] == 2
+            # ... the third bounces with 429 and a Retry-After hint ...
+            status, doc = handle.request(
+                "POST", "/query", {"graph": "karate", "kind": "skyline"}
+            )
+            assert status == 429
+            assert "queue" in doc
+            # ... and the queued ones expire to 504 without ever
+            # reaching an engine (the worker never dispatched).
+            statuses = sorted(f.result()[0] for f in queued)
+            assert statuses == [504, 504]
+        handle.call_in_loop(handle.server.dispatch_gate.set)
+        _, metrics = handle.request("GET", "/metrics")
+        assert metrics["queue"]["rejected_total"] == 1
+        assert metrics["queue"]["expired_total"] == 2
+        assert metrics["queue"]["dequeued_total"] == 0  # nothing ran
+        assert metrics["requests"]["skyline"]["429"] == 1
+        assert metrics["requests"]["skyline"]["504"] == 2

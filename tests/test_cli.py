@@ -321,3 +321,50 @@ def test_timeout_must_be_positive(capsys):
     )
     assert code == 2
     assert "timeout" in capsys.readouterr().err
+
+
+def test_serve_validates_queue_capacity(capsys):
+    code = main(
+        [
+            "serve",
+            "--graph",
+            "karate",
+            "--queue-capacity",
+            "0",
+            "--max-requests",
+            "1",
+        ]
+    )
+    assert code == 2
+    assert "queue_capacity" in capsys.readouterr().err
+
+
+def test_serve_rejects_unknown_dataset(capsys):
+    code = main(["serve", "--graph", "atlantis", "--max-requests", "1"])
+    assert code == 2
+    assert "atlantis" in capsys.readouterr().err
+
+
+def test_serve_requires_graph():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["serve"])
+
+
+def test_serve_zero_requests_starts_and_exits(capsys):
+    """--max-requests 0 brings the full server up and straight down:
+    registry + sessions + listener lifecycle without any traffic."""
+    code = main(
+        [
+            "serve",
+            "--graph",
+            "karate",
+            "--port",
+            "0",
+            "--max-requests",
+            "0",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "hosting karate" in out
+    assert "serving on http://127.0.0.1:" in out
