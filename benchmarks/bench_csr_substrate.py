@@ -1,0 +1,146 @@
+"""Before/after microbench: list-backed graph vs the numpy CSR substrate.
+
+Times the two phases the substrate vectorized — the skyline **filter
+phase** (edge-constrained domination scan) and full-graph **BFS** — on
+the same graph twice: once on the plain list-of-lists :class:`Graph`
+("before") and once on the :class:`CSRGraph` ndarray substrate
+("after").  Results are asserted identical before any timing is
+trusted; the speedup is only meaningful because the outputs are
+bit-for-bit the same.
+
+Rows land in ``BENCH_skyline.json`` as ``bench="csr_substrate"``:
+one row per (instance, phase, backend), with the speedup recorded in
+the CSR row's ``extra``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_csr_substrate.py [dataset ...]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.core.filter_phase import filter_phase
+from repro.graph.adjacency import Graph
+from repro.graph.csr import CSRGraph
+from repro.harness.benchjson import (
+    BENCH_FILENAME,
+    bench_entry,
+    write_bench_json,
+)
+from repro.paths.bfs import bfs_distances
+from repro.paths.csr import CSRTraversal
+from repro.workloads import load
+
+#: One paper-scale graph and one million-edge-tier graph, per the
+#: substrate PR's acceptance criteria.
+DEFAULT_INSTANCES = ("wikitalk_sim", "ws_large")
+
+#: Full-BFS sources: a fixed, size-independent sample so the BFS
+#: numbers compare across graphs of different orders.
+BFS_SOURCE_COUNT = 8
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _bfs_sources(n: int) -> list[int]:
+    step = max(1, n // BFS_SOURCE_COUNT)
+    return list(range(0, n, step))[:BFS_SOURCE_COUNT]
+
+
+def run_one(name: str) -> list[dict]:
+    csr = load(name)
+    assert isinstance(csr, CSRGraph)
+    listg = Graph.from_edges(csr.num_vertices, csr.edges())
+
+    # -- filter phase --------------------------------------------------
+    t0 = time.perf_counter()
+    cand_list, dom_list = filter_phase(listg)
+    t_filter_list = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    cand_csr, dom_csr = filter_phase(csr)
+    t_filter_csr = time.perf_counter() - t0
+    assert cand_list == cand_csr, f"{name}: filter candidates diverged"
+    assert dom_list == dom_csr, f"{name}: filter dominators diverged"
+
+    # -- full BFS ------------------------------------------------------
+    sources = _bfs_sources(csr.num_vertices)
+    t0 = time.perf_counter()
+    dists_list = [bfs_distances(listg, s) for s in sources]
+    t_bfs_list = time.perf_counter() - t0
+    trav = CSRTraversal.from_graph(csr)
+    t0 = time.perf_counter()
+    dists_csr = [trav.bfs_distances(s) for s in sources]
+    t_bfs_csr = time.perf_counter() - t0
+    assert dists_list == dists_csr, f"{name}: BFS distances diverged"
+
+    filter_speedup = t_filter_list / t_filter_csr if t_filter_csr else 0.0
+    bfs_speedup = t_bfs_list / t_bfs_csr if t_bfs_csr else 0.0
+    print(
+        f"{name}: n={csr.num_vertices} m={csr.num_edges} "
+        f"filter {t_filter_list:.2f}s -> {t_filter_csr:.2f}s "
+        f"({filter_speedup:.1f}x)  "
+        f"bfs x{len(sources)} {t_bfs_list:.2f}s -> {t_bfs_csr:.2f}s "
+        f"({bfs_speedup:.1f}x)"
+    )
+
+    shape = {
+        "num_vertices": csr.num_vertices,
+        "num_edges": csr.num_edges,
+    }
+    return [
+        bench_entry(
+            bench="csr_substrate",
+            instance=name,
+            algorithm="filter_phase_list",
+            wall_s=t_filter_list,
+            extra={**shape, "candidate_size": len(cand_list)},
+        ),
+        bench_entry(
+            bench="csr_substrate",
+            instance=name,
+            algorithm="filter_phase_csr",
+            wall_s=t_filter_csr,
+            extra={
+                **shape,
+                "candidate_size": len(cand_csr),
+                "speedup_vs_list": round(filter_speedup, 2),
+            },
+        ),
+        bench_entry(
+            bench="csr_substrate",
+            instance=name,
+            algorithm="bfs_list",
+            wall_s=t_bfs_list,
+            extra={**shape, "sources": len(sources)},
+        ),
+        bench_entry(
+            bench="csr_substrate",
+            instance=name,
+            algorithm="bfs_csr",
+            wall_s=t_bfs_csr,
+            extra={
+                **shape,
+                "sources": len(sources),
+                "speedup_vs_list": round(bfs_speedup, 2),
+            },
+        ),
+    ]
+
+
+def main(argv) -> int:
+    instances = tuple(argv) or DEFAULT_INSTANCES
+    entries = []
+    for name in instances:
+        entries.extend(run_one(name))
+    path = os.path.join(REPO_ROOT, BENCH_FILENAME)
+    write_bench_json(path, entries)
+    print(f"merged {len(entries)} entries into {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

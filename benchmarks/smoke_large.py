@@ -1,0 +1,163 @@
+"""CI smoke check for the million-edge workload tier.
+
+End-to-end over the large-graph substrate, in one seeded run:
+
+1. materialize the ``kron_large`` registry graph (stochastic Kronecker,
+   ~1.2M edges, CSR-backed from birth);
+2. convert it to the binary on-disk format and re-open it via
+   ``np.memmap`` (:mod:`repro.graph.binfmt`) — the open must be
+   effectively instant and the loaded graph identical in counts;
+3. run the parallel bitset skyline on the memmap-backed graph through
+   the supervised engine (shared-memory data plane where available);
+4. assert the skyline is non-empty, sane (a subset of the filter
+   candidates), and that **zero** shared-memory residue survives —
+   no live parent segments and no ``repro_*`` file in ``/dev/shm``.
+
+Wall times go into ``BENCH_skyline.json`` as ``bench="large_tier"``
+rows through the same checkpoint journal the sweep harness uses, so an
+interrupted smoke resumes instead of regenerating the graph.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_large.py [dataset ...]
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import sys
+import tempfile
+import time
+
+from repro.core.filter_phase import filter_phase
+from repro.graph.binfmt import read_binary_graph, write_binary_graph
+from repro.harness.benchjson import (
+    BENCH_FILENAME,
+    bench_entry,
+    write_bench_json,
+)
+from repro.harness.checkpoint import CheckpointJournal
+from repro.parallel import parallel_refine_sky
+from repro.parallel.shm import live_segment_names
+from repro.workloads import load, spec
+
+DEFAULT_INSTANCES = ("kron_large",)
+
+#: The smoke refuses to pass on anything smaller — the tier's reason to
+#: exist is that the substrate handles seven-figure edge counts.
+MIN_EDGES = 1_000_000
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _assert_no_residue(where: str) -> None:
+    assert not live_segment_names(), (
+        f"{where}: live parent segments {live_segment_names()}"
+    )
+    leaked = glob.glob("/dev/shm/repro_*")
+    assert not leaked, f"{where}: /dev/shm residue {leaked}"
+
+
+def run_one(name: str, workdir: str, journal: CheckpointJournal) -> list[dict]:
+    t0 = time.perf_counter()
+    graph = load(name)
+    t_gen = time.perf_counter() - t0
+    assert graph.num_edges >= MIN_EDGES, (
+        f"{name}: {graph.num_edges} edges; the large tier starts at "
+        f"{MIN_EDGES}"
+    )
+
+    binary_path = os.path.join(workdir, f"{name}.rsky")
+    t0 = time.perf_counter()
+    write_binary_graph(graph, binary_path)
+    t_convert = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    mapped = read_binary_graph(binary_path)
+    t_open = time.perf_counter() - t0
+    assert mapped.num_vertices == graph.num_vertices
+    assert mapped.num_edges == graph.num_edges
+    # O(1) open: a million-edge graph must map in well under a second.
+    assert t_open < 1.0, f"{name}: memmap open took {t_open:.3f}s"
+
+    cell = journal.get(name, "parallel_bitset", 0)
+    if cell is not None:
+        wall = cell["wall_s"]
+        skyline_size = cell["extra"]["skyline_size"]
+        candidate_size = cell["extra"]["candidate_size"]
+        print(f"{name}: resumed skyline cell from checkpoint")
+    else:
+        t0 = time.perf_counter()
+        result = parallel_refine_sky(
+            mapped, workers=2, refine="bitset", small_graph_edges=0
+        )
+        wall = time.perf_counter() - t0
+        assert result.size > 0, f"{name}: empty skyline"
+        assert result.candidate_size is not None
+        assert result.size <= result.candidate_size
+        candidates, _ = filter_phase(mapped)
+        assert set(result.skyline) <= set(candidates), (
+            f"{name}: skyline escaped the candidate set"
+        )
+        skyline_size = result.size
+        candidate_size = result.candidate_size
+        journal.mark_done(
+            name,
+            "parallel_bitset",
+            0,
+            wall_s=wall,
+            skyline_size=skyline_size,
+            candidate_size=candidate_size,
+        )
+    _assert_no_residue(name)
+
+    print(
+        f"{name}: n={graph.num_vertices} m={graph.num_edges} "
+        f"gen {t_gen:.1f}s convert {t_convert:.2f}s "
+        f"memmap-open {t_open * 1000:.1f}ms skyline {wall:.1f}s "
+        f"|C|={candidate_size} |R|={skyline_size}; no shm residue"
+    )
+    return [
+        bench_entry(
+            bench="large_tier",
+            instance=name,
+            algorithm="parallel_bitset_skyline",
+            wall_s=wall,
+            extra={
+                "num_vertices": graph.num_vertices,
+                "num_edges": graph.num_edges,
+                "skyline_size": skyline_size,
+                "candidate_size": candidate_size,
+                "generate_s": round(t_gen, 3),
+                "convert_s": round(t_convert, 3),
+                "memmap_open_s": round(t_open, 6),
+                "description": spec(name).description,
+            },
+        )
+    ]
+
+
+def main(argv) -> int:
+    instances = tuple(argv) or DEFAULT_INSTANCES
+    entries = []
+    journal = CheckpointJournal(
+        os.path.join(REPO_ROOT, ".smoke_large_checkpoint.json")
+    )
+    with tempfile.TemporaryDirectory(prefix="smoke_large_") as workdir:
+        for name in instances:
+            entries.extend(run_one(name, workdir, journal))
+    path = os.path.join(REPO_ROOT, BENCH_FILENAME)
+    write_bench_json(path, entries)
+    # A clean full run retires its journal; only interrupted runs leave
+    # one behind for the resume path.
+    try:
+        os.unlink(journal.path)
+    except FileNotFoundError:
+        pass
+    print(f"merged {len(entries)} entries into {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

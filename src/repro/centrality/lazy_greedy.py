@@ -116,7 +116,7 @@ def _pooled_round0(
     if data_plane == "shm":
         from array import array
 
-        from repro.parallel.shm import ShmDataPlane
+        from repro.parallel.shm import ShmDataPlane, buffer_typecode
 
         owns_plane = session is None
         publish_t0 = _time.perf_counter()
@@ -124,8 +124,12 @@ def _pooled_round0(
             plane = ShmDataPlane()
             indptr, indices = graph.to_csr()
             graph_refs = {
-                "indptr": plane.publish(indptr, "q"),
-                "indices": plane.publish(indices, "q"),
+                "indptr": plane.publish(
+                    indptr, buffer_typecode(indptr)
+                ),
+                "indices": plane.publish(
+                    indices, buffer_typecode(indices)
+                ),
             }
             supervisor = PoolSupervisor(
                 workers=workers,

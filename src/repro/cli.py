@@ -44,7 +44,7 @@ from repro.errors import ParameterError, ReproError
 from repro.harness.checkpoint import CheckpointJournal
 from repro.parallel import parallel_refine_sky, validate_pool_params
 from repro.graph.adjacency import Graph
-from repro.graph.io import read_edge_list
+from repro.graph.io import load_graph
 from repro.graph.stats import graph_stats
 from repro.harness.table import format_table
 from repro.workloads import load, names, spec
@@ -58,7 +58,11 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
         "--dataset", help="named dataset from the registry"
     )
     source.add_argument(
-        "--edge-list", help="path to a whitespace edge-list file"
+        "--edge-list",
+        help=(
+            "path to a graph file: whitespace edge-list text or a "
+            "binary snapshot from 'convert' (format auto-detected)"
+        ),
     )
 
 
@@ -132,19 +136,43 @@ def _parallel_skyline(
 def _load_graph(args: argparse.Namespace) -> Graph:
     if args.dataset:
         return load(args.dataset)
-    return read_edge_list(args.edge_list)
+    # load_graph sniffs the format: binary snapshots open O(1) via
+    # memmap, anything else parses as edge-list text.
+    return load_graph(args.edge_list)
 
 
-def _cmd_datasets(_args: argparse.Namespace) -> int:
+def _cmd_datasets(args: argparse.Namespace) -> int:
     rows = []
-    for name in names():
+    for name in names(tier=args.tier):
         s = spec(name)
         g = s.load()
         st = graph_stats(g)
         rows.append(
-            (name, s.kind, st.num_vertices, st.num_edges, st.max_degree)
+            (
+                name,
+                s.kind,
+                s.tier,
+                st.num_vertices,
+                st.num_edges,
+                st.max_degree,
+            )
         )
-    print(format_table(("name", "kind", "n", "m", "dmax"), rows))
+    print(format_table(("name", "kind", "tier", "n", "m", "dmax"), rows))
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    """Convert any loadable graph to the binary memmap format."""
+    from repro.graph.binfmt import write_binary_graph
+
+    graph = _load_graph(args)
+    start = time.perf_counter()
+    total = write_binary_graph(graph, args.output)
+    elapsed = time.perf_counter() - start
+    print(
+        f"wrote {args.output}: n={graph.num_vertices} "
+        f"m={graph.num_edges} ({total} bytes, {elapsed:.3f}s)"
+    )
     return 0
 
 
@@ -475,7 +503,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("datasets", help="list registered datasets")
+    p_ds = sub.add_parser("datasets", help="list registered datasets")
+    p_ds.add_argument(
+        "--tier",
+        default="standard",
+        choices=("standard", "large", "all"),
+        help=(
+            "which registry tier to list; 'large' materializes the "
+            "million-edge benchmark graphs (default: standard)"
+        ),
+    )
+
+    p_cnv = sub.add_parser(
+        "convert",
+        help="convert a graph to the binary memmap format (O(1) loads)",
+    )
+    _add_graph_arguments(p_cnv)
+    p_cnv.add_argument(
+        "--output",
+        required=True,
+        metavar="PATH",
+        help="destination binary file (conventionally *.rsky)",
+    )
 
     p_sky = sub.add_parser("skyline", help="compute a neighborhood skyline")
     _add_graph_arguments(p_sky)
@@ -657,6 +706,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 _COMMANDS = {
     "datasets": _cmd_datasets,
+    "convert": _cmd_convert,
     "skyline": _cmd_skyline,
     "group": _cmd_group,
     "clique": _cmd_clique,

@@ -174,10 +174,10 @@ class BitsetScanContext:
         self.graph = graph
         n = graph.num_vertices
         neighbors = graph.neighbors
-        # degree() rather than len(neighbors()): on a lazy CSR view
+        # degrees() rather than len(neighbors()): on a lazy CSR view
         # (shared-memory workers) it reads indptr without materializing
         # every adjacency row.
-        deg = [graph.degree(x) for x in range(n)]
+        deg = graph.degrees()
         self.deg = deg
         self.row_int = matrix.int_rows()
         comp = matrix.complement_int_rows()

@@ -68,7 +68,9 @@ def bloom_refine_pass(
     bit_of = blooms.bit_masks
     neighbors = graph.neighbors
     has_edge = graph.has_edge
-    deg = [len(neighbors(x)) for x in range(n)]
+    # degrees() reads indptr on CSR-backed graphs — no row
+    # materialization just to measure lengths.
+    deg = graph.degrees()
     filter_word = blooms.filter_word
     fw = [0] * n
     for u in candidates:

@@ -45,7 +45,13 @@ class Graph:
 
     def __init__(self, adjacency: list[list[int]], num_edges: int):
         # Not part of the public API: use from_edges / GraphBuilder.
-        self._adj = adjacency
+        # Rows are normalized to tuples so neighbors() can hand out
+        # internal storage without exposing anything mutable (None rows
+        # are the lazy-subclass placeholder and pass through untouched).
+        self._adj = [
+            row if (type(row) is tuple or row is None) else tuple(row)
+            for row in adjacency
+        ]
         self._m = num_edges
         self._csr: tuple[array, array] | None = None
 
@@ -136,12 +142,21 @@ class Graph:
         The snapshot is trusted (it came from a validated graph), so the
         adjacency is handed straight to :meth:`_from_sorted_adjacency`.
         """
+        # tolist() normalizes numpy arrays and memoryviews to plain
+        # Python ints in one pass; array('q') supports it too.
+        flat = (
+            indices.tolist() if hasattr(indices, "tolist")
+            else list(indices)
+        )
+        starts = (
+            indptr.tolist() if hasattr(indptr, "tolist") else list(indptr)
+        )
         adj = [
-            list(indices[indptr[u] : indptr[u + 1]])
-            for u in range(len(indptr) - 1)
+            tuple(flat[starts[u] : starts[u + 1]])
+            for u in range(len(starts) - 1)
         ]
         # Every undirected edge contributes two CSR entries.
-        return cls._from_sorted_adjacency(adj, len(indices) // 2)
+        return cls._from_sorted_adjacency(adj, len(flat) // 2)
 
     # ------------------------------------------------------------------
     # Size
@@ -169,17 +184,28 @@ class Graph:
     def neighbors(self, u: int) -> Sequence[int]:
         """The sorted open neighborhood ``N(u)``.
 
-        The returned list is the graph's internal storage — callers must
-        not mutate it.  (Returning it directly keeps the refine loop of
-        Algorithm 3 allocation-free.)
+        The returned tuple is the graph's internal storage: immutable,
+        so handing it out directly is safe and keeps the refine loop of
+        Algorithm 3 allocation-free.
         """
         return self._adj[u]
+
+    def degrees(self) -> list[int]:
+        """All degrees at once: ``[deg(0), ..., deg(n-1)]``.
+
+        Subclasses backed by CSR arrays answer from ``indptr`` without
+        materializing any adjacency row — prefer this over a
+        ``degree(u)`` loop when every vertex is needed.
+        """
+        return [len(row) for row in self._adj]
 
     def closed_neighborhood(self, u: int) -> list[int]:
         """The sorted closed neighborhood ``N[u] = N(u) ∪ {u}`` (a copy)."""
         nbrs = self._adj[u]
         pos = bisect_left(nbrs, u)
-        return nbrs[:pos] + [u] + nbrs[pos:]
+        out = list(nbrs)
+        out.insert(pos, u)
+        return out
 
     def has_edge(self, u: int, v: int) -> bool:
         """``True`` iff ``(u, v) ∈ E``.  ``O(log min(deg u, deg v))``."""
@@ -278,11 +304,17 @@ class CSRGraphView(Graph):
     def degree(self, u: int) -> int:
         return self._indptr[u + 1] - self._indptr[u]
 
+    def degrees(self) -> list[int]:
+        indptr = self._indptr
+        return [
+            indptr[u + 1] - indptr[u] for u in range(len(self._adj))
+        ]
+
     def neighbors(self, u: int) -> Sequence[int]:
         row = self._adj[u]
         if row is None:
             indptr = self._indptr
-            row = list(self._indices[indptr[u] : indptr[u + 1]])
+            row = tuple(self._indices[indptr[u] : indptr[u + 1]])
             self._adj[u] = row
         return row
 

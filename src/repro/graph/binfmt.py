@@ -1,0 +1,177 @@
+"""On-disk binary CSR graph format with O(1) memmap loading.
+
+Text edge lists cost a full parse — integer conversion, dedup, CSR
+assembly — every time a graph is opened.  For the million-edge workload
+tier that parse dominates end-to-end benchmark time, so converted
+graphs are stored as raw CSR bytes that :func:`read_binary_graph` maps
+straight into a :class:`~repro.graph.csr.CSRGraph` via ``np.memmap``:
+opening is O(1), and pages are faulted in lazily as algorithms touch
+rows.
+
+Layout (all fields little-endian)::
+
+    offset  size              field
+    0       4                 magic  b"RSKY"
+    4       4                 format version (uint32; currently 1)
+    8       8                 n  (uint64, vertex count)
+    16      8                 m  (uint64, undirected edge count)
+    24      4*(n+1)           indptr   (int32)
+    24+...  4*(2*m)           indices  (int32, rows sorted ascending)
+
+The arrays are exactly the ``int32`` snapshot :meth:`~repro.graph.csr.
+CSRGraph.csr_arrays` exposes, so ``write → read`` round-trips to an
+identical graph and a memmap-loaded graph feeds the shared-memory data
+plane, the vectorized filter phase and the traversal kernels without
+any conversion.
+
+Every load validates the magic, version, declared counts and the file
+size they imply; a truncated or corrupted file raises
+:class:`~repro.errors.GraphFormatError` naming the path and the
+specific mismatch, never a numpy shape error downstream.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Union
+
+from repro.errors import GraphFormatError
+from repro.graph.adjacency import Graph
+from repro.graph.csr import CSRGraph, HAVE_NUMPY
+
+try:  # pragma: no cover - absence exercised via HAVE_NUMPY gating
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+__all__ = [
+    "BINARY_MAGIC",
+    "BINARY_VERSION",
+    "is_binary_graph",
+    "read_binary_graph",
+    "write_binary_graph",
+]
+
+PathLike = Union[str, os.PathLike]
+
+#: First four bytes of every binary graph file.
+BINARY_MAGIC = b"RSKY"
+
+#: Current format version; bumped on any layout change.
+BINARY_VERSION = 1
+
+_HEADER = struct.Struct("<4sIQQ")
+
+
+def _require_numpy(what: str) -> None:
+    if not HAVE_NUMPY:
+        raise GraphFormatError(
+            f"{what} requires numpy; convert/load edge-list text instead"
+        )
+
+
+def is_binary_graph(path: PathLike) -> bool:
+    """``True`` iff ``path`` starts with the binary-graph magic.
+
+    Used by the sniffing loader (:func:`repro.graph.io.load_graph`) to
+    route between formats; unreadable paths simply report ``False`` and
+    let the text loader surface the real error.
+    """
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(len(BINARY_MAGIC)) == BINARY_MAGIC
+    except OSError:
+        return False
+
+
+def write_binary_graph(graph: Graph, path: PathLike) -> int:
+    """Serialize ``graph`` to ``path``; returns the bytes written.
+
+    Any :class:`~repro.graph.adjacency.Graph` works — list-backed
+    graphs are snapshotted through their CSR memo first.  Writes are
+    atomic-ish: data lands in ``path + ".tmp"`` and is renamed over the
+    target, so a crashed convert never leaves a half-written file that
+    still carries a valid magic.
+    """
+    _require_numpy("writing a binary graph")
+    csr = CSRGraph.from_graph(graph)
+    indptr, indices = csr.csr_arrays()
+    header = _HEADER.pack(
+        BINARY_MAGIC, BINARY_VERSION, graph.num_vertices, graph.num_edges
+    )
+    tmp = os.fspath(path) + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(header)
+        fh.write(memoryview(indptr).cast("B"))
+        fh.write(memoryview(indices).cast("B"))
+        fh.flush()
+        os.fsync(fh.fileno())
+        total = fh.tell()
+    os.replace(tmp, os.fspath(path))
+    return total
+
+
+def read_binary_graph(path: PathLike) -> CSRGraph:
+    """Open a binary graph as a memmap-backed :class:`CSRGraph`.
+
+    The arrays are read-only ``np.memmap`` views — nothing is copied at
+    open time, and the OS pages data in on demand.  The returned graph
+    keeps the mapping alive for its lifetime.
+    """
+    _require_numpy("reading a binary graph")
+    label = os.fspath(path)
+    try:
+        size = os.path.getsize(path)
+        with open(path, "rb") as fh:
+            head = fh.read(_HEADER.size)
+    except OSError as exc:
+        raise GraphFormatError(
+            f"{label}: {exc.strerror or exc}"
+        ) from exc
+    if len(head) < _HEADER.size:
+        raise GraphFormatError(
+            f"{label}: truncated header ({len(head)} bytes, "
+            f"need {_HEADER.size})"
+        )
+    magic, version, n, m = _HEADER.unpack(head)
+    if magic != BINARY_MAGIC:
+        raise GraphFormatError(
+            f"{label}: bad magic {magic!r}; not a binary graph file"
+        )
+    if version != BINARY_VERSION:
+        raise GraphFormatError(
+            f"{label}: unsupported format version {version} "
+            f"(this build reads version {BINARY_VERSION})"
+        )
+    if 2 * m >= 1 << 31:
+        raise GraphFormatError(
+            f"{label}: edge count {m} exceeds the int32 index range"
+        )
+    expected = _HEADER.size + 4 * (n + 1) + 4 * (2 * m)
+    if size != expected:
+        raise GraphFormatError(
+            f"{label}: file holds {size} bytes but the header declares "
+            f"n={n}, m={m} ({expected} bytes) — truncated or corrupt"
+        )
+    indptr = _np.memmap(
+        label, dtype=_np.int32, mode="r", offset=_HEADER.size, shape=(n + 1,)
+    )
+    if m:
+        indices = _np.memmap(
+            label,
+            dtype=_np.int32,
+            mode="r",
+            offset=_HEADER.size + 4 * (n + 1),
+            shape=(2 * m,),
+        )
+    else:
+        # mmap rejects zero-length windows; an edgeless graph needs none.
+        indices = _np.zeros(0, dtype=_np.int32)
+    if int(indptr[0]) != 0 or int(indptr[n]) != 2 * m:
+        raise GraphFormatError(
+            f"{label}: indptr endpoints ({int(indptr[0])}, "
+            f"{int(indptr[n])}) do not match the declared 2m={2 * m} — "
+            "corrupt index"
+        )
+    return CSRGraph.from_arrays(indptr, indices)

@@ -132,12 +132,19 @@ class CandidateBitMatrix:
             # packbits(bitorder="little") writes vertex x to byte x>>3,
             # bit x&7 — byte-for-byte the little-endian uint64 layout.
             bits = _np.zeros((PACK_CHUNK_ROWS, words * 64), dtype=bool)
+            # CSR-backed graphs hand out zero-copy ndarray rows; the
+            # list path converts its tuples, since a bare tuple would be
+            # misread as a multi-dimensional index.
+            row_of = getattr(graph, "neighbors_array", None)
             for lo in range(0, len(verts), PACK_CHUNK_ROWS):
                 chunk = verts[lo : lo + PACK_CHUNK_ROWS]
                 bits[: len(chunk)] = False
                 for i, u in enumerate(chunk):
-                    nbrs = graph.neighbors(u)
-                    if nbrs:
+                    nbrs = (
+                        row_of(u) if row_of is not None
+                        else list(graph.neighbors(u))
+                    )
+                    if len(nbrs):
                         bits[i, nbrs] = True
                 packed = _np.packbits(
                     bits[: len(chunk)], axis=1, bitorder="little"

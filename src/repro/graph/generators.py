@@ -26,6 +26,11 @@ from repro.errors import ParameterError
 from repro.graph.adjacency import Graph
 from repro.graph.builder import GraphBuilder
 
+try:  # pragma: no cover - the large-tier generators are numpy-gated
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 __all__ = [
     "erdos_renyi",
     "chung_lu_power_law",
@@ -37,6 +42,9 @@ __all__ = [
     "star_graph",
     "complete_binary_tree",
     "empty_graph",
+    "kronecker_graph",
+    "watts_strogatz",
+    "configuration_model",
 ]
 
 
@@ -338,3 +346,173 @@ def barabasi_albert(
             builder.add_edge(u, v)
             repeated.extend((u, v))
     return builder.build()
+
+
+# ----------------------------------------------------------------------
+# Large-tier generators (vectorized, numpy-backed)
+# ----------------------------------------------------------------------
+# The million-edge workload tier needs graphs that materialize in
+# seconds, which rules out the per-edge Python loops above.  These three
+# generators assemble endpoint arrays with numpy and hand them to
+# :func:`repro.graph.csr.graph_from_edge_arrays`, so the result is a
+# CSR-backed graph from the start — no adjacency lists are ever built.
+# All are deterministic given ``seed`` (``np.random.default_rng``).
+
+
+def _require_numpy_gen(name: str):
+    if _np is None:
+        raise ParameterError(
+            f"{name} requires numpy; use the list-backed generators for "
+            "small graphs instead"
+        )
+
+
+def _edges_from_endpoints(n: int, us, vs) -> Graph:
+    """Drop loops, dedupe both orientations, build the CSR graph."""
+    from repro.graph.csr import graph_from_edge_arrays
+
+    keep = us != vs
+    us, vs = us[keep], vs[keep]
+    lo = _np.minimum(us, vs)
+    hi = _np.maximum(us, vs)
+    codes = _np.unique(lo * _np.int64(n) + hi)
+    return graph_from_edge_arrays(n, codes // n, codes % n)
+
+
+def kronecker_graph(
+    scale: int,
+    edge_factor: int,
+    *,
+    initiator: tuple[float, float, float, float] = (0.57, 0.19, 0.19, 0.05),
+    seed: Optional[int] = None,
+) -> Graph:
+    """A stochastic Kronecker (R-MAT) graph on ``2**scale`` vertices.
+
+    ``edge_factor * 2**scale`` directed edges are sampled bit by bit:
+    at each of the ``scale`` recursion levels one quadrant of the
+    initiator matrix ``(a, b, c, d)`` is chosen and contributes one bit
+    to each endpoint — the Graph500 construction, fully vectorized (one
+    uniform draw per level across all edges at once).  Self-loops and
+    duplicates are erased afterwards, so the realized edge count lands
+    somewhat below the sample count — skewed initiators (large ``a``)
+    collapse more samples onto the same hub pairs.
+    """
+    if scale < 0:
+        raise ParameterError(f"scale must be >= 0, got {scale}")
+    if edge_factor < 1:
+        raise ParameterError(
+            f"edge_factor must be >= 1, got {edge_factor}"
+        )
+    a, b, c, d = initiator
+    if min(a, b, c, d) < 0 or abs(a + b + c + d - 1.0) > 1e-9:
+        raise ParameterError(
+            "initiator probabilities must be non-negative and sum to 1, "
+            f"got {initiator}"
+        )
+    _require_numpy_gen("kronecker_graph")
+    n = 1 << scale
+    m = edge_factor * n
+    rng = _np.random.default_rng(seed)
+    us = _np.zeros(m, dtype=_np.int64)
+    vs = _np.zeros(m, dtype=_np.int64)
+    for _ in range(scale):
+        r = rng.random(m)
+        # Quadrant 0..3 = (a | b / c | d); high bit goes to u, low to v.
+        quadrant = (
+            (r >= a).astype(_np.int64)
+            + (r >= a + b).astype(_np.int64)
+            + (r >= a + b + c).astype(_np.int64)
+        )
+        us = (us << 1) | (quadrant >> 1)
+        vs = (vs << 1) | (quadrant & 1)
+    return _edges_from_endpoints(n, us, vs)
+
+
+def watts_strogatz(
+    n: int, k: int, beta: float, *, seed: Optional[int] = None
+) -> Graph:
+    """A Watts–Strogatz small world: ring lattice + random rewiring.
+
+    Each vertex starts connected to its ``k // 2`` nearest neighbors on
+    either side; every lattice edge is then rewired to a uniform random
+    endpoint with probability ``beta``.  Rewiring is vectorized (one
+    mask draw + one batch of replacement endpoints); rewired edges that
+    collide as loops or duplicates are erased, matching the erased
+    construction the other large-tier generators use.
+    """
+    _check_n(n)
+    if k < 0 or k >= n and n > 0:
+        raise ParameterError(
+            f"ring degree k must satisfy 0 <= k < n, got k={k}, n={n}"
+        )
+    if not 0.0 <= beta <= 1.0:
+        raise ParameterError(f"beta must be in [0, 1], got {beta}")
+    _require_numpy_gen("watts_strogatz")
+    half = k // 2
+    if n == 0 or half == 0:
+        return empty_graph(n)
+    rng = _np.random.default_rng(seed)
+    us = _np.repeat(_np.arange(n, dtype=_np.int64), half)
+    vs = (
+        us + _np.tile(_np.arange(1, half + 1, dtype=_np.int64), n)
+    ) % n
+    rewire = rng.random(len(us)) < beta
+    vs = _np.where(
+        rewire, rng.integers(0, n, size=len(us), dtype=_np.int64), vs
+    )
+    return _edges_from_endpoints(n, us, vs)
+
+
+def configuration_model(
+    degrees, *, seed: Optional[int] = None
+) -> Graph:
+    """An erased configuration-model graph with the given degree targets.
+
+    Stubs (half-edges) are laid out per vertex, shuffled with one
+    permutation, and paired off consecutively; self-loops and parallel
+    edges are erased, so realized degrees can fall slightly below the
+    targets (the standard erased construction).  An odd stub total
+    silently drops the last stub.
+    """
+    _require_numpy_gen("configuration_model")
+    deg = _np.asarray(degrees, dtype=_np.int64)
+    if len(deg) and int(deg.min()) < 0:
+        raise ParameterError("degrees must be non-negative")
+    n = len(deg)
+    stubs = _np.repeat(_np.arange(n, dtype=_np.int64), deg)
+    rng = _np.random.default_rng(seed)
+    stubs = rng.permutation(stubs)
+    half = len(stubs) // 2
+    if half == 0:
+        return empty_graph(n)
+    return _edges_from_endpoints(n, stubs[:half], stubs[half : 2 * half])
+
+
+def power_law_degrees(
+    n: int,
+    exponent: float,
+    *,
+    min_degree: int = 1,
+    max_degree: Optional[int] = None,
+    seed: Optional[int] = None,
+):
+    """A seeded power-law degree sequence for :func:`configuration_model`.
+
+    Inverse-CDF sampling of ``P(deg >= x) ∝ x^(1 - exponent)`` clipped
+    to ``[min_degree, max_degree]`` (default cap ``√n``, keeping the
+    erased construction's loop/multi-edge loss small).
+    """
+    _check_n(n)
+    if exponent <= 1.0:
+        raise ParameterError(
+            f"degree exponent must be > 1, got {exponent}"
+        )
+    if min_degree < 1:
+        raise ParameterError(f"min_degree must be >= 1, got {min_degree}")
+    _require_numpy_gen("power_law_degrees")
+    if max_degree is None:
+        max_degree = max(min_degree, int(math.isqrt(n)))
+    rng = _np.random.default_rng(seed)
+    u = rng.random(n)
+    raw = min_degree * (1.0 - u) ** (-1.0 / (exponent - 1.0))
+    return _np.minimum(raw.astype(_np.int64), max_degree)

@@ -49,7 +49,11 @@ from repro.graph.bitmatrix import (
 )
 from repro.parallel.chunks import chunk_ranges, default_chunk_size
 from repro.parallel.params import validate_pool_params
-from repro.parallel.shm import ShmDataPlane, resolve_data_plane
+from repro.parallel.shm import (
+    ShmDataPlane,
+    buffer_typecode,
+    resolve_data_plane,
+)
 from repro.parallel.supervisor import (
     DEFAULT_MAX_RETRIES,
     PoolSupervisor,
@@ -272,7 +276,7 @@ def parallel_refine_sky(
         max_retries=max_retries,
     )
     if bloom_bits is None:
-        dmax = max((graph.degree(u) for u in graph.vertices()), default=0)
+        dmax = max(graph.degrees(), default=0)
         bits = width_for_max_degree(dmax, bits_per_element)
     elif bloom_bits <= 0 or bloom_bits % 32 != 0:
         raise ParameterError(
@@ -345,8 +349,12 @@ def parallel_refine_sky(
                 plane = ShmDataPlane()
                 indptr, indices = graph.to_csr()
                 graph_refs = {
-                    "indptr": plane.publish(indptr, "q"),
-                    "indices": plane.publish(indices, "q"),
+                    "indptr": plane.publish(
+                        indptr, buffer_typecode(indptr)
+                    ),
+                    "indices": plane.publish(
+                        indices, buffer_typecode(indices)
+                    ),
                 }
                 supervisor = PoolSupervisor(
                     workers=workers,

@@ -79,9 +79,16 @@ def pool_context():
 
 
 def build_greedy_payload(graph, objective, pool) -> tuple:
-    """The snapshot shipped to every worker: CSR rows + pool + objective."""
+    """The snapshot shipped to every worker: CSR rows + pool + objective.
+
+    CSR-backed graphs already hold ``int32`` ndarrays (which pickle as
+    compactly as anything); only the list path's ``array('q')`` indices
+    are narrowed to ``'i'`` for the wire.
+    """
     indptr, indices = graph.to_csr()
-    return (indptr, array("i", indices), array("q", pool), objective)
+    if isinstance(indices, array):
+        indices = array("i", indices)
+    return (indptr, indices, array("q", pool), objective)
 
 
 def build_greedy_state(payload: tuple) -> tuple:
@@ -115,7 +122,9 @@ _CALL: Optional[dict] = None
 def init_greedy_worker(payload: tuple) -> None:
     """Pool initializer for either data plane (see module docstring)."""
     global _STATE, _CSR, _TRAV, _CALL
-    if payload and payload[0] == "shm":
+    # isinstance guard: the pickle payload leads with the indptr array,
+    # and ndarray == str compares elementwise instead of returning False.
+    if payload and isinstance(payload[0], str) and payload[0] == "shm":
         refs = payload[1]
         _CSR = (attach_view(refs["indptr"]), attach_view(refs["indices"]))
         _STATE = None

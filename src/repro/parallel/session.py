@@ -42,7 +42,12 @@ from typing import Optional
 from repro.errors import ParameterError
 from repro.graph.adjacency import Graph
 from repro.parallel.params import validate_pool_params
-from repro.parallel.shm import SegmentRef, ShmDataPlane, resolve_data_plane
+from repro.parallel.shm import (
+    SegmentRef,
+    ShmDataPlane,
+    buffer_typecode,
+    resolve_data_plane,
+)
 from repro.parallel.supervisor import (
     DEFAULT_MAX_RETRIES,
     PoolSupervisor,
@@ -200,8 +205,12 @@ class EngineSession:
         if self._graph_refs is None:
             indptr, indices = self.graph.to_csr()  # memoized on the graph
             self._graph_refs = {
-                "indptr": self._plane.publish(indptr, "q"),
-                "indices": self._plane.publish(indices, "q"),
+                "indptr": self._plane.publish(
+                    indptr, buffer_typecode(indptr)
+                ),
+                "indices": self._plane.publish(
+                    indices, buffer_typecode(indices)
+                ),
             }
         return self._graph_refs
 

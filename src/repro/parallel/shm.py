@@ -58,11 +58,29 @@ __all__ = [
     "ShmDataPlane",
     "attach_view",
     "attached_segment_names",
+    "buffer_typecode",
     "live_segment_names",
     "release_attachments",
     "resolve_data_plane",
     "shm_available",
 ]
+
+#: Integer formats a :class:`memoryview` can round-trip through
+#: ``cast`` — the element types :func:`buffer_typecode` preserves.
+_CASTABLE_FORMATS = frozenset("bBhHiIlLqQ")
+
+
+def buffer_typecode(data) -> str:
+    """The :class:`SegmentRef` typecode that reproduces ``data``'s view.
+
+    ``array('q')`` snapshots report ``"q"``, ``int32`` ndarrays ``"i"``,
+    ``int64`` ndarrays ``"l"`` or ``"q"`` — whatever
+    ``memoryview(data).format`` says, as long as :func:`attach_view` can
+    ``cast`` to it on the worker side.  Anything else (packed bitmatrix
+    words, multi-byte structs) degrades to raw bytes ``"B"``.
+    """
+    fmt = memoryview(data).format
+    return fmt if fmt in _CASTABLE_FORMATS else "B"
 
 
 class SegmentRef(NamedTuple):

@@ -211,7 +211,9 @@ def init_worker(payload: tuple) -> None:
     the same initargs, so a fresh worker re-attaches automatically.
     """
     global _STATE, _GRAPH, _CALL
-    if payload and payload[0] == "shm":
+    # isinstance guard: the pickle payload leads with the indptr array,
+    # and ndarray == str compares elementwise instead of returning False.
+    if payload and isinstance(payload[0], str) and payload[0] == "shm":
         refs = payload[1]
         _GRAPH = CSRGraphView(
             attach_view(refs["indptr"]), attach_view(refs["indices"])

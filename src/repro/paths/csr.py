@@ -10,21 +10,27 @@ vertex, and a Python-level ``gain_weight`` call per improvement.
 
 :class:`CSRTraversal` removes all three.  It is built once per run (or
 once per worker process) from the graph's :meth:`~repro.graph.adjacency.
-Graph.to_csr` snapshot with neighbor IDs narrowed to ``array('i')``.
-The flat array is the *snapshot* format — compact, picklable in one
-piece, shipped once per worker — but CPython boxes a fresh ``int`` on
-every ``array('i')`` index access, so the constructor unpacks it a
-single time into per-row list views (``_rows[u]`` is the ``u``-th CSR
-row as a plain list) and the hot loops iterate those at C speed; on a
-~6k-vertex instance that one-time unpack makes each BFS ~3x faster
-than indexing the flat array directly.  Two preallocated scratch
-buffers are reused across evaluations:
+Graph.to_csr` snapshot and accepts any CSR buffer shape the engines
+produce: ``array`` snapshots of the list-backed graph, the ``int32``
+ndarrays of :class:`~repro.graph.csr.CSRGraph`, or the typed
+memoryviews a shared-memory worker attaches.  Internally it keeps:
 
-* ``new_dist`` — tentative distances, ``-2`` meaning untouched; reset
-  after each traversal by touching only the visited vertices;
-* ``queue`` — a flat FIFO whose prefix, after a traversal, lists the
+* **one flat Python-int list** of the neighbor IDs (``tolist()`` — one
+  pass, no per-access boxing ever again) plus per-row slice views
+  materialized lazily and cached, so the scalar traversal loops iterate
+  plain lists at C speed while a worker that scans a fraction of the
+  graph only pays for the rows it touches;
+* **zero-copy ndarray views** of ``indptr``/``indices`` when numpy is
+  available, which back the vectorized level-synchronous full-BFS
+  kernels (:meth:`bfs_distances` / :meth:`multi_source_distances` index
+  the ndarrays directly — distances are order-independent, so the
+  vectorized frontier expansion returns exactly the scalar kernel's
+  values);
+* two preallocated scratch buffers reused across evaluations:
+  ``new_dist`` (tentative distances, ``-2`` meaning untouched) and
+  ``queue`` (a flat FIFO whose prefix, after a traversal, lists the
   improved vertices **in the exact order** the generator version yields
-  them (source first, then FIFO discovery order over sorted rows).
+  them — source first, then FIFO discovery order over sorted rows).
 
 That ordering guarantee is what makes the gain kernels bit-for-bit
 compatible with the eager driver: gains are float sums, and floating-
@@ -34,6 +40,9 @@ in the same order with the same arithmetic — closeness accumulates
 integer farness drops (exact in either representation), harmonic adds
 ``1.0/new - old_term`` as one fused expression exactly as
 :class:`~repro.centrality.group_harmonic_max.HarmonicObjective` does.
+The pruned gain scans stay scalar for exactly that reason: their
+emission order *is* the contract, and only the full-BFS kernels (whose
+outputs are order-free) vectorize.
 """
 
 from __future__ import annotations
@@ -43,7 +52,39 @@ from typing import Callable, Iterable, Optional, Sequence
 
 from repro.graph.adjacency import Graph
 
+try:  # pragma: no cover - scalar fallback exercised via monkeypatching
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 __all__ = ["CSRTraversal", "make_evaluator"]
+
+#: memoryview/array format codes mapped to numpy dtypes for zero-copy
+#: ndarray views over attached shared-memory buffers.
+_FORMAT_DTYPES = {
+    "i": "int32",
+    "I": "uint32",
+    "l": "int64",
+    "L": "uint64",
+    "q": "int64",
+    "Q": "uint64",
+}
+
+
+def _ndarray_view(buf):
+    """``buf`` as a zero-copy integer ndarray, or ``None`` if impossible."""
+    if _np is None:
+        return None
+    if isinstance(buf, _np.ndarray):
+        return buf
+    try:
+        mv = memoryview(buf)
+    except TypeError:
+        return None
+    dtype = _FORMAT_DTYPES.get(mv.format)
+    if dtype is None:
+        return None
+    return _np.frombuffer(mv, dtype=dtype)
 
 
 class CSRTraversal:
@@ -54,22 +95,39 @@ class CSRTraversal:
     next one starts (no interleaving, no sharing across threads).
     """
 
-    __slots__ = ("n", "indptr", "indices", "_rows", "_new_dist", "_queue")
+    __slots__ = (
+        "n",
+        "indptr",
+        "indices",
+        "_starts",
+        "_flat",
+        "_rows",
+        "_nd_indptr",
+        "_nd_indices",
+        "_new_dist",
+        "_queue",
+    )
 
     def __init__(self, indptr: Sequence[int], indices: Sequence[int]):
         n = len(indptr) - 1
         self.n = n
         self.indptr = indptr
-        #: Neighbor IDs, narrowed to 32-bit — vertex IDs always fit.
-        self.indices = (
-            indices if isinstance(indices, array) and indices.typecode == "i"
-            else array("i", indices)
+        self.indices = indices
+        # One normalization pass: plain Python ints for the scalar
+        # loops (array/memoryview/ndarray all support tolist()).
+        self._starts = (
+            indptr.tolist() if hasattr(indptr, "tolist") else list(indptr)
         )
-        # Unpack the flat snapshot once into per-row list views: list
-        # iteration avoids the per-access int boxing of array('i') in
-        # the traversal loops (see the module docstring).
-        flat = self.indices.tolist()
-        self._rows = [flat[indptr[u]:indptr[u + 1]] for u in range(n)]
+        self._flat = (
+            indices.tolist() if hasattr(indices, "tolist")
+            else list(indices)
+        )
+        #: Lazily cached per-row list views of ``_flat`` — hot loops
+        #: iterate plain lists; untouched rows cost nothing.
+        self._rows: list = [None] * n
+        # Zero-copy ndarray views for the vectorized full-BFS kernels.
+        self._nd_indptr = _ndarray_view(indptr)
+        self._nd_indices = _ndarray_view(indices)
         self._new_dist = [-2] * n
         self._queue = [0] * n
 
@@ -78,31 +136,68 @@ class CSRTraversal:
         indptr, indices = graph.to_csr()
         return cls(indptr, indices)
 
+    def _row(self, u: int) -> list:
+        row = self._rows[u]
+        if row is None:
+            starts = self._starts
+            row = self._flat[starts[u] : starts[u + 1]]
+            self._rows[u] = row
+        return row
+
     # ------------------------------------------------------------------
     # Full BFS (CSR rebuilds of repro.paths.bfs)
     # ------------------------------------------------------------------
     def bfs_distances(self, source: int) -> list[int]:
         """Distances from ``source``; ``-1`` if unreachable."""
-        rows = self._rows
-        queue = self._queue
-        dist = [-1] * self.n
-        dist[source] = 0
-        queue[0] = source
-        head, tail = 0, 1
-        while head < tail:
-            u = queue[head]
-            head += 1
-            next_level = dist[u] + 1
-            for v in rows[u]:
-                if dist[v] == -1:
-                    dist[v] = next_level
-                    queue[tail] = v
-                    tail += 1
-        return dist
+        if self._nd_indptr is not None:
+            return self._frontier_distances((source,))
+        return self._scalar_distances((source,))
 
     def multi_source_distances(self, sources: Iterable[int]) -> list[int]:
         """``dist[v] = min over s in sources of d(v, s)``; ``-1`` unreachable."""
-        rows = self._rows
+        if self._nd_indptr is not None:
+            return self._frontier_distances(sources)
+        return self._scalar_distances(sources)
+
+    def _frontier_distances(self, sources: Iterable[int]) -> list[int]:
+        """Vectorized level-synchronous BFS over the ndarray views.
+
+        Per level: gather every frontier row with one fancy-index
+        expansion, keep the unvisited targets, stamp their level.
+        Distances are order-independent, so this equals the scalar FIFO
+        kernel exactly.
+        """
+        indptr = self._nd_indptr
+        indices = self._nd_indices
+        dist = _np.full(self.n, -1, dtype=_np.int64)
+        frontier = _np.unique(_np.fromiter(sources, dtype=_np.int64))
+        if frontier.size == 0:
+            return dist.tolist()
+        dist[frontier] = 0
+        level = 0
+        while frontier.size:
+            starts = indptr[frontier].astype(_np.int64)
+            counts = indptr[frontier + 1].astype(_np.int64) - starts
+            total = int(counts.sum())
+            if total == 0:
+                break
+            cum = _np.concatenate(
+                (_np.zeros(1, dtype=_np.int64), _np.cumsum(counts))
+            )
+            slots = (
+                _np.repeat(starts - cum[:-1], counts)
+                + _np.arange(total, dtype=_np.int64)
+            )
+            targets = indices[slots]
+            fresh = _np.unique(targets[dist[targets] == -1])
+            if fresh.size == 0:
+                break
+            level += 1
+            dist[fresh] = level
+            frontier = fresh
+        return dist.tolist()
+
+    def _scalar_distances(self, sources: Iterable[int]) -> list[int]:
         queue = self._queue
         dist = [-1] * self.n
         tail = 0
@@ -112,11 +207,15 @@ class CSRTraversal:
                 queue[tail] = s
                 tail += 1
         head = 0
+        rows = self._rows
         while head < tail:
             u = queue[head]
             head += 1
             next_level = dist[u] + 1
-            for v in rows[u]:
+            row = rows[u]
+            if row is None:
+                row = self._row(u)
+            for v in row:
                 if dist[v] == -1:
                     dist[v] = next_level
                     queue[tail] = v
@@ -147,7 +246,10 @@ class CSRTraversal:
             u = queue[head]
             head += 1
             next_level = new_dist[u] + 1
-            for v in rows[u]:
+            row = rows[u]
+            if row is None:
+                row = self._row(u)
+            for v in row:
                 if new_dist[v] != -2:
                     continue
                 cur = current[v]

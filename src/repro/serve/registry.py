@@ -31,7 +31,7 @@ from repro.core.counters import SkylineCounters
 from repro.core.result import SkylineResult
 from repro.errors import ParameterError, ReproError
 from repro.graph.adjacency import Graph
-from repro.graph.io import read_edge_list
+from repro.graph.io import load_graph
 from repro.parallel.session import EngineSession
 
 __all__ = [
@@ -194,7 +194,9 @@ class GraphRegistry:
 
             graph = load(source)
             return self.register(name, graph, source=f"dataset:{source}")
-        graph = read_edge_list(source)
+        # Sniffing loader: binary snapshots open O(1) via memmap, text
+        # parses as an edge list — the spec syntax doesn't change.
+        graph = load_graph(source)
         return self.register(name, graph, source=f"edge_list:{source}")
 
     def entry(self, name: str) -> GraphEntry:

@@ -2,6 +2,7 @@
 
 from repro.workloads.bombing import bombing_proxy
 from repro.workloads.registry import (
+    LARGE_TIER_NAMES,
     TABLE1_NAMES,
     DatasetSpec,
     PaperStats,
@@ -12,6 +13,7 @@ from repro.workloads.registry import (
 
 __all__ = [
     "bombing_proxy",
+    "LARGE_TIER_NAMES",
     "TABLE1_NAMES",
     "DatasetSpec",
     "PaperStats",

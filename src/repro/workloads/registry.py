@@ -26,14 +26,29 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Callable, Optional
 
-from repro.errors import DatasetNotFoundError
+from repro.errors import DatasetNotFoundError, ParameterError
 from repro.graph.adjacency import Graph
-from repro.graph.generators import copying_power_law
+from repro.graph.csr import as_csr
+from repro.graph.generators import (
+    configuration_model,
+    copying_power_law,
+    kronecker_graph,
+    power_law_degrees,
+    watts_strogatz,
+)
 from repro.graph.karate import karate_club
 from repro.workloads.bombing import bombing_proxy
 from repro.workloads.synthetic import attach_hub_satellites, plant_cliques
 
-__all__ = ["DatasetSpec", "PaperStats", "load", "spec", "names", "TABLE1_NAMES"]
+__all__ = [
+    "DatasetSpec",
+    "PaperStats",
+    "load",
+    "spec",
+    "names",
+    "TABLE1_NAMES",
+    "LARGE_TIER_NAMES",
+]
 
 
 @dataclass(frozen=True)
@@ -54,6 +69,11 @@ class DatasetSpec:
     kind: str  # "embedded" (real data shipped) or "standin" (synthetic)
     loader: Callable[[], Graph]
     paper: Optional[PaperStats] = None
+    #: "standard" datasets are paper-scale and safe to load everywhere;
+    #: "large" is the million-edge benchmark tier — excluded from
+    #: default listings so tests and the CLI never materialize one by
+    #: accident.
+    tier: str = "standard"
 
     def load(self) -> Graph:
         """Materialize the graph (loaders are pure and seeded)."""
@@ -209,6 +229,52 @@ _register(
     )
 )
 
+# -- Large workload tier (million-edge scale) ---------------------------
+# Generated with the vectorized numpy generators, so materialization is
+# seconds, not minutes; loading additionally requires numpy (the
+# standard tier does not).  Excluded from names() by default.
+_register(
+    DatasetSpec(
+        name="kron_large",
+        description=(
+            "Stochastic Kronecker (R-MAT) graph, scale 17, ~1.2M edges "
+            "after erasure (mild skew keeps the refine scan CI-sized)"
+        ),
+        kind="standin",
+        tier="large",
+        loader=lambda: kronecker_graph(
+            17, 9, initiator=(0.35, 0.25, 0.25, 0.15), seed=701
+        ),
+    )
+)
+_register(
+    DatasetSpec(
+        name="ws_large",
+        description=(
+            "Watts-Strogatz small world, n=200k, k=10, beta=0.05 "
+            "(~1.0M edges)"
+        ),
+        kind="standin",
+        tier="large",
+        loader=lambda: watts_strogatz(200_000, 10, 0.05, seed=702),
+    )
+)
+_register(
+    DatasetSpec(
+        name="config_large",
+        description=(
+            "Erased configuration model, n=250k power-law degrees "
+            "(exponent 2.3, ~1.7M edges)"
+        ),
+        kind="standin",
+        tier="large",
+        loader=lambda: configuration_model(
+            power_law_degrees(250_000, 2.3, min_degree=4, seed=703),
+            seed=703,
+        ),
+    )
+)
+
 #: The five datasets of the paper's Table I, in table order.
 TABLE1_NAMES: tuple[str, ...] = (
     "notredame_sim",
@@ -218,10 +284,32 @@ TABLE1_NAMES: tuple[str, ...] = (
     "dblp_sim",
 )
 
+#: The million-edge benchmark tier, in registration order.
+LARGE_TIER_NAMES: tuple[str, ...] = (
+    "kron_large",
+    "ws_large",
+    "config_large",
+)
 
-def names() -> tuple[str, ...]:
-    """All registered dataset names, sorted."""
-    return tuple(sorted(_SPECS))
+
+def names(*, tier: str = "standard") -> tuple[str, ...]:
+    """Registered dataset names, sorted.
+
+    ``tier`` selects ``"standard"`` (default — the paper-scale sets
+    every caller historically got), ``"large"`` (the million-edge
+    benchmark tier) or ``"all"``.
+    """
+    if tier not in ("standard", "large", "all"):
+        raise ParameterError(
+            f"unknown tier {tier!r}; choose 'standard', 'large' or 'all'"
+        )
+    return tuple(
+        sorted(
+            name
+            for name, s in _SPECS.items()
+            if tier == "all" or s.tier == tier
+        )
+    )
 
 
 def spec(name: str) -> DatasetSpec:
@@ -238,6 +326,8 @@ def load(name: str) -> Graph:
 
     Loaders are pure and seeded, and graphs are immutable, so results
     are memoized — repeated loads (CLI listings, test fixtures, bench
-    modules) share one instance per dataset.
+    modules) share one instance per dataset.  When numpy is available
+    the graph comes back on the CSR substrate (:func:`~repro.graph.csr.
+    as_csr`) — identical results, vectorized whole-graph scans.
     """
-    return spec(name).load()
+    return as_csr(spec(name).load())

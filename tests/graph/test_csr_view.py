@@ -63,7 +63,7 @@ class TestCSRGraphView:
         g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
         view = _view_of(g)
         row = view.neighbors(1)
-        assert row == [0, 2]
+        assert row == (0, 2)  # immutable: callers can't corrupt the cache
         assert view.neighbors(1) is row
         assert view._adj[3] is None  # untouched rows stay lazy
 

@@ -1,0 +1,263 @@
+"""Differential suite: the numpy CSR substrate vs the list-backed graph.
+
+The tentpole invariant of the CSR substrate is *bit-for-bit
+equivalence*: every algorithm must produce identical output on a
+:class:`CSRGraph` and on the list-backed :class:`Graph` it was built
+from — same skylines, same dominator arrays, same counters where the
+code path is shared, same greedy groups, same BFS distances.  These
+tests pin that invariant on random graphs (both the uniform and the
+power-law regime, the latter exercising the filter pretest's reject
+branch heavily) and pin the binary on-disk format's round-trip and
+corruption behavior.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import pytest
+from hypothesis import given, settings
+
+from repro.centrality import neisky_gc, neisky_gh
+from repro.core import SkylineCounters, neighborhood_skyline
+from repro.core.filter_phase import filter_phase
+from repro.errors import GraphFormatError
+from repro.graph.adjacency import Graph
+from repro.graph.binfmt import (
+    BINARY_MAGIC,
+    is_binary_graph,
+    read_binary_graph,
+    write_binary_graph,
+)
+from repro.graph.csr import CSRGraph, HAVE_NUMPY, as_csr
+from repro.paths.bfs import bfs_distances, multi_source_distances
+from repro.paths.csr import CSRTraversal
+from repro.workloads import load, names
+
+from tests.conftest import graphs, power_law_graphs
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="the CSR substrate requires numpy"
+)
+
+
+class TestGraphProtocolEquivalence:
+    @given(graphs(max_vertices=18))
+    def test_protocol_queries_match(self, g):
+        csr = CSRGraph.from_graph(g)
+        assert csr.num_vertices == g.num_vertices
+        assert csr.num_edges == g.num_edges
+        assert csr.degrees() == g.degrees()
+        for u in g.vertices():
+            assert csr.degree(u) == g.degree(u)
+            assert tuple(csr.neighbors(u)) == tuple(g.neighbors(u))
+            assert csr.closed_neighborhood(u) == g.closed_neighborhood(u)
+        for u in g.vertices():
+            for v in g.vertices():
+                if u != v:
+                    assert csr.has_edge(u, v) == g.has_edge(u, v)
+        assert csr == g
+        assert sorted(csr.edges()) == sorted(g.edges())
+
+    @given(graphs(max_vertices=16))
+    def test_to_csr_is_zero_copy(self, g):
+        csr = CSRGraph.from_graph(g)
+        indptr, indices = csr.csr_arrays()
+        snap = csr.to_csr()
+        assert snap[0] is indptr
+        assert snap[1] is indices
+        assert not indptr.flags.writeable
+        assert not indices.flags.writeable
+
+    def test_neighbors_are_immutable(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        csr = CSRGraph.from_graph(g)
+        row = csr.neighbors(1)
+        with pytest.raises(TypeError):
+            row[0] = 99
+        # The list path hands out tuples too.
+        with pytest.raises(TypeError):
+            g.neighbors(1)[0] = 99
+
+    def test_neighbors_array_is_readonly_slice(self):
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        csr = CSRGraph.from_graph(g)
+        row = csr.neighbors_array(0)
+        assert row.tolist() == [1, 2, 3]
+        with pytest.raises(ValueError):
+            row[0] = 9
+
+
+class TestSkylineEquivalence:
+    @settings(deadline=None)
+    @given(power_law_graphs(max_vertices=48))
+    def test_filter_phase_identical(self, g):
+        csr = CSRGraph.from_graph(g)
+        list_counters = SkylineCounters()
+        csr_counters = SkylineCounters()
+        cand_list, dom_list = filter_phase(g, counters=list_counters)
+        cand_csr, dom_csr = filter_phase(csr, counters=csr_counters)
+        assert cand_list == cand_csr
+        assert dom_list == dom_csr
+        # The pretest may skip exact merges but never changes decisions:
+        # degree skips fire before it, so that counter stays shared.
+        assert list_counters.degree_skips == csr_counters.degree_skips
+        assert (
+            list_counters.dominations_found == csr_counters.dominations_found
+        )
+        rejects = csr_counters.extra.get("filter_pretest_rejects", 0)
+        assert (
+            csr_counters.pair_tests + rejects == list_counters.pair_tests
+        )
+
+    @settings(deadline=None)
+    @given(power_law_graphs(max_vertices=40))
+    def test_all_algorithms_identical(self, g):
+        csr = CSRGraph.from_graph(g)
+        for algorithm in ("filter_refine", "filter_refine_bitset"):
+            r_list = neighborhood_skyline(g, algorithm=algorithm)
+            r_csr = neighborhood_skyline(csr, algorithm=algorithm)
+            assert r_list.skyline == r_csr.skyline
+            assert r_list.dominator == r_csr.dominator
+            assert r_list.candidates == r_csr.candidates
+
+    @pytest.mark.parametrize("name", names())
+    def test_registered_datasets_identical(self, name):
+        """The acceptance bar: every registry dataset, both backends."""
+        csr = load(name)
+        assert isinstance(csr, CSRGraph)
+        listg = Graph.from_edges(csr.num_vertices, csr.edges())
+        r_list = neighborhood_skyline(listg)
+        r_csr = neighborhood_skyline(csr)
+        assert r_list.skyline == r_csr.skyline
+        assert r_list.dominator == r_csr.dominator
+        assert r_list.candidates == r_csr.candidates
+
+    @settings(deadline=None)
+    @given(graphs(max_vertices=14))
+    def test_greedy_groups_identical(self, g):
+        csr = CSRGraph.from_graph(g)
+        for run in (neisky_gc, neisky_gh):
+            r_list = run(g, 3)
+            r_csr = run(csr, 3)
+            assert r_list.group == r_csr.group
+            assert r_list.gains == r_csr.gains
+            assert r_list.evaluations == r_csr.evaluations
+
+
+class TestPicklePlanePayloads:
+    def test_worker_init_sniff_handles_ndarray_payloads(self, karate):
+        """Regression: the plane sniff in the worker initializers must
+        not compare an ndarray payload head against ``"shm"``
+        (elementwise ``==`` made every pickle-plane worker die at init,
+        silently masked by the supervisor's sequential fallback)."""
+        from repro.core.counters import SkylineCounters
+        from repro.parallel import parallel_refine_sky
+
+        csr = as_csr(karate)
+        counters = SkylineCounters()
+        result = parallel_refine_sky(
+            csr,
+            workers=2,
+            data_plane="pickle",
+            small_graph_edges=0,
+            counters=counters,
+        )
+        assert result.skyline == neighborhood_skyline(karate).skyline
+        events = {
+            k: v
+            for k, v in counters.extra.items()
+            if k.startswith("resilience_") and v
+        }
+        assert not events, f"pooled run degraded: {events}"
+
+
+class TestTraversalEquivalence:
+    @given(graphs(max_vertices=16))
+    def test_bfs_distances_match(self, g):
+        if g.num_vertices == 0:
+            return
+        trav = CSRTraversal.from_graph(as_csr(g))
+        for s in g.vertices():
+            assert trav.bfs_distances(s) == bfs_distances(g, s)
+
+    @given(graphs(max_vertices=16))
+    def test_multi_source_matches(self, g):
+        n = g.num_vertices
+        trav = CSRTraversal.from_graph(as_csr(g))
+        for sources in ([], list(range(0, n, 3)), list(range(n))):
+            assert trav.multi_source_distances(
+                sources
+            ) == multi_source_distances(g, sources)
+
+    def test_vectorized_and_scalar_kernels_agree(self, karate):
+        trav = CSRTraversal.from_graph(as_csr(karate))
+        assert trav._nd_indptr is not None
+        for s in karate.vertices():
+            assert trav.bfs_distances(s) == trav._scalar_distances((s,))
+
+
+class TestBinaryFormat:
+    @settings(deadline=None, max_examples=25)
+    @given(graphs(max_vertices=20))
+    def test_round_trip_identity(self, tmp_path_factory, g):
+        path = tmp_path_factory.mktemp("binfmt") / "g.rsky"
+        write_binary_graph(g, path)
+        assert is_binary_graph(path)
+        loaded = read_binary_graph(path)
+        assert isinstance(loaded, CSRGraph)
+        assert loaded == g
+        # The memmap-backed snapshot re-serializes to identical bytes.
+        again = tmp_path_factory.mktemp("binfmt") / "h.rsky"
+        write_binary_graph(loaded, again)
+        assert path.read_bytes() == again.read_bytes()
+
+    def test_truncated_file_rejected(self, tmp_path, karate):
+        path = tmp_path / "k.rsky"
+        write_binary_graph(karate, path)
+        raw = path.read_bytes()
+        for cut in (0, 3, 10, len(raw) - 1):
+            path.write_bytes(raw[:cut])
+            with pytest.raises(GraphFormatError):
+                read_binary_graph(path)
+
+    def test_bad_magic_rejected(self, tmp_path, karate):
+        path = tmp_path / "k.rsky"
+        write_binary_graph(karate, path)
+        raw = bytearray(path.read_bytes())
+        raw[:4] = b"NOPE"
+        path.write_bytes(bytes(raw))
+        assert not is_binary_graph(path)
+        with pytest.raises(GraphFormatError, match="magic"):
+            read_binary_graph(path)
+
+    def test_unsupported_version_rejected(self, tmp_path, karate):
+        path = tmp_path / "k.rsky"
+        write_binary_graph(karate, path)
+        raw = bytearray(path.read_bytes())
+        raw[4:8] = struct.pack("<I", 99)
+        path.write_bytes(bytes(raw))
+        with pytest.raises(GraphFormatError, match="version"):
+            read_binary_graph(path)
+
+    def test_corrupt_indptr_rejected(self, tmp_path, karate):
+        path = tmp_path / "k.rsky"
+        write_binary_graph(karate, path)
+        raw = bytearray(path.read_bytes())
+        # First indptr entry must be 0; poison it.
+        raw[24:28] = struct.pack("<i", 7)
+        path.write_bytes(bytes(raw))
+        with pytest.raises(GraphFormatError, match="corrupt"):
+            read_binary_graph(path)
+
+    def test_missing_file_reports_path(self, tmp_path):
+        path = tmp_path / "absent.rsky"
+        with pytest.raises(GraphFormatError, match="absent"):
+            read_binary_graph(path)
+        assert not is_binary_graph(path)
+
+    def test_no_tmp_residue_after_write(self, tmp_path, karate):
+        path = tmp_path / "k.rsky"
+        write_binary_graph(karate, path)
+        assert os.listdir(tmp_path) == ["k.rsky"]
