@@ -146,11 +146,56 @@ def render_substrate(entries) -> str:
     )
 
 
+def render_refine_vector(entries) -> str:
+    """Block-kernel before/after table (``refine_vector`` entries).
+
+    One row per instance: candidate count, the before row's refine wall
+    (annotated with the path that actually ran — at large scale the
+    default-budget bitset kernel is the bloom fallback), the block
+    kernel's refine wall, and the measured speedup.  Returns ``""``
+    when ``bench_refine_vector.py`` has not been run yet.
+    """
+    by_key = {
+        (e["instance"], e["algorithm"]): e
+        for e in entries
+        if e["bench"] == "refine_vector"
+    }
+    rows = []
+    for name in sorted({k[0] for k in by_key}):
+        before = by_key.get((name, "FilterRefineSkyBitset"))
+        after = by_key.get((name, "FilterRefineSkyBlock"))
+        if before is None or after is None:
+            continue
+        b_extra = before.get("extra", {})
+        a_extra = after.get("extra", {})
+        ratio = a_extra.get(
+            "refine_speedup",
+            b_extra["refine_s"] / a_extra["refine_s"],
+        )
+        rows.append(
+            f"| {name} | {a_extra.get('candidate_size', '?')} "
+            f"| {b_extra['refine_s']:.2f} "
+            f"({b_extra.get('refine_path', '?')}) "
+            f"| {a_extra['refine_s']:.2f} | {ratio:.1f}x "
+            f"| {a_extra.get('core_pretest_rejects', '?')} |"
+        )
+    if not rows:
+        return ""
+    return "\n".join(
+        [
+            "| dataset | \\|C\\| | refine before (s) | refine block (s) "
+            "| speedup | core-pretest rejects |",
+            "|---|---|---|---|---|---|",
+            *rows,
+        ]
+    )
+
+
 def render_large_tier(entries) -> str:
     """Million-edge tier table (``large_tier`` entries).
 
     One row per instance: graph shape, binary convert / memmap open
-    times, and the end-to-end parallel bitset skyline wall time.
+    times, and the end-to-end parallel block-kernel skyline wall time.
     Returns ``""`` when the tier has not been benched yet.
     """
     rows = []
@@ -202,6 +247,10 @@ def main() -> int:
     if substrate:
         print()
         print(substrate)
+    refine_vector = render_refine_vector(entries)
+    if refine_vector:
+        print()
+        print(refine_vector)
     large = render_large_tier(entries)
     if large:
         print()

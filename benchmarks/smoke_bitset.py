@@ -2,7 +2,7 @@
 
 Plain script (no pytest) so CI can run it in seconds on tiny registry
 instances: computes the skyline with the bloom baseline, the bitset
-kernel, the forced bloom-fallback (``word_budget=0``) and the parallel
+kernel, the forced bloom-fallback (``word_budget=1``) and the parallel
 engine with ``refine="bitset"``, asserts every result bit-for-bit equal,
 and records the wall times into ``BENCH_skyline.json`` at the repo root
 (merge-write: entries from full benchmark runs are preserved).
@@ -57,7 +57,7 @@ def run(instances) -> list[dict]:
         path = counters.extra.get("refine_path")
 
         _, fb = _timed(
-            lambda: filter_refine_bitset_sky(graph, word_budget=0)
+            lambda: filter_refine_bitset_sky(graph, word_budget=1)
         )
         assert fb.dominator == ref.dominator, name
 

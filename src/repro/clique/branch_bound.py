@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.clique.ordering import core_numbers
 from repro.graph.adjacency import Graph
 
 __all__ = ["base_mcc", "bb_max_clique_in_sets"]
@@ -65,5 +66,13 @@ def base_mcc(
         return []
     adjacency = [set(graph.neighbors(u)) for u in range(n)]
     best: list[int] = list(initial_bound) if initial_bound else []
-    bb_max_clique_in_sets(adjacency, [], list(range(n)), best)
+    candidates = list(range(n))
+    if best:
+        # Work avoidance when a bound is handed in: a clique beating the
+        # incumbent needs core number >= |best| on every member, so the
+        # rest of the vertex set never enters the search tree.  The
+        # framework itself stays bound-by-candidate-count only.
+        core = core_numbers(graph)
+        candidates = [u for u in candidates if core[u] >= len(best)]
+    bb_max_clique_in_sets(adjacency, [], candidates, best)
     return sorted(best)

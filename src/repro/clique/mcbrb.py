@@ -26,6 +26,7 @@ from typing import Optional, Sequence
 
 from repro.clique.ordering import degeneracy_ordering
 from repro.graph.adjacency import Graph
+from repro.graph.cores import core_decomposition
 
 __all__ = ["mc_brb", "max_clique_with_root", "greedy_heuristic_clique"]
 
@@ -136,20 +137,23 @@ def mc_brb(graph: Graph) -> list[int]:
     if n == 0:
         return []
     best = greedy_heuristic_clique(graph)
-    order, _k = degeneracy_ordering(graph)
+    core, order, _k = core_decomposition(graph)
     rank = [0] * n
     for pos, u in enumerate(order):
         rank[u] = pos
     adjacency = [set(graph.neighbors(u)) for u in range(n)]
-    degree = graph.degree
     for u in order:
+        # Core reduction: every member of a clique of size s has core
+        # number >= s - 1, so a root (or candidate) with
+        # core(v) + 1 <= |best| cannot appear in anything better.  This
+        # subsumes the old degree filter (core(v) <= deg(v)).
+        if core[u] + 1 <= len(best):
+            continue
         right = [v for v in graph.neighbors(u) if rank[v] > rank[u]]
         if len(right) + 1 <= len(best):
             continue
-        # Degree reduction: candidates in a clique beating the incumbent
-        # need degree >= |best|.
         floor = len(best)
-        right = [v for v in right if degree(v) >= floor]
+        right = [v for v in right if core[v] >= floor]
         if len(right) + 1 <= len(best):
             continue
         _bb_colored(adjacency, [u], right, best)

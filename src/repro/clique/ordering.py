@@ -1,18 +1,26 @@
 """Degeneracy ordering — the workhorse vertex order of clique solvers.
 
-The degeneracy ordering repeatedly removes a minimum-degree vertex; its
+The degeneracy ordering repeatedly removes minimum-degree vertices; its
 *core numbers* bound clique size (``ω ≤ degeneracy + 1``) and the
 "right neighborhood" of each vertex in the ordering has size at most the
 degeneracy, which is what keeps branch-and-bound subproblems tiny on
 sparse graphs (the structural insight behind MC-BRB's ego-network
 decomposition).
 
-Implemented with the linear-time bucket technique of Matula & Beck.
+Both entry points delegate to the round-based batch peel of
+:mod:`repro.graph.cores` — vectorized over the CSR ndarrays when numpy
+is available, with an identical-schedule pure-Python fallback — which
+replaced the scalar Matula–Beck bucket loops that used to live here.
+The peel order differs from the old lazy-deletion order (batches peel
+ID-ascending instead of popping the newest bucket entry) but is equally
+a degeneracy ordering, and core numbers and degeneracy are unchanged
+(they are properties of the graph, not of the schedule).
 """
 
 from __future__ import annotations
 
 from repro.graph.adjacency import Graph
+from repro.graph.cores import core_decomposition
 
 __all__ = ["degeneracy_ordering", "core_numbers"]
 
@@ -20,67 +28,15 @@ __all__ = ["degeneracy_ordering", "core_numbers"]
 def degeneracy_ordering(graph: Graph) -> tuple[list[int], int]:
     """Return ``(order, degeneracy)``.
 
-    ``order`` lists the vertices in removal order (min-degree first);
-    ``degeneracy`` is the largest degree seen at removal time.  Runs in
-    ``O(n + m)``.
+    ``order`` lists the vertices in peel order (min-degree levels
+    first); ``degeneracy`` is the deepest level peeled.  Runs in
+    ``O(n + m)`` work, vectorized per cascade round on the CSR
+    substrate.
     """
-    n = graph.num_vertices
-    degree = [graph.degree(u) for u in range(n)]
-    max_deg = max(degree, default=0)
-    buckets: list[list[int]] = [[] for _ in range(max_deg + 1)]
-    for u in range(n):
-        buckets[degree[u]].append(u)
-    position_known = bytearray(n)
-    order: list[int] = []
-    degeneracy = 0
-    cursor = 0  # smallest possibly-non-empty bucket
-    while len(order) < n:
-        while cursor < len(buckets) and not buckets[cursor]:
-            cursor += 1
-        u = buckets[cursor].pop()
-        if position_known[u]:
-            # Stale entry: u was moved to a lower bucket earlier but the
-            # old entry was left behind (lazy deletion).
-            continue
-        position_known[u] = 1
-        degeneracy = max(degeneracy, degree[u])
-        order.append(u)
-        for v in graph.neighbors(u):
-            if not position_known[v]:
-                degree[v] -= 1
-                buckets[degree[v]].append(v)
-                if degree[v] < cursor:
-                    cursor = degree[v]
-    return order, degeneracy
+    decomposition = core_decomposition(graph)
+    return list(decomposition.order), decomposition.degeneracy
 
 
 def core_numbers(graph: Graph) -> list[int]:
     """``core[u]`` = largest ``k`` such that ``u`` lies in the k-core."""
-    n = graph.num_vertices
-    degree = [graph.degree(u) for u in range(n)]
-    max_deg = max(degree, default=0)
-    buckets: list[list[int]] = [[] for _ in range(max_deg + 1)]
-    for u in range(n):
-        buckets[degree[u]].append(u)
-    removed = bytearray(n)
-    core = [0] * n
-    cursor = 0
-    current_core = 0
-    processed = 0
-    while processed < n:
-        while cursor < len(buckets) and not buckets[cursor]:
-            cursor += 1
-        u = buckets[cursor].pop()
-        if removed[u]:
-            continue
-        removed[u] = 1
-        processed += 1
-        current_core = max(current_core, degree[u])
-        core[u] = current_core
-        for v in graph.neighbors(u):
-            if not removed[v]:
-                degree[v] -= 1
-                buckets[degree[v]].append(v)
-                if degree[v] < cursor:
-                    cursor = degree[v]
-    return core
+    return list(core_decomposition(graph).core)

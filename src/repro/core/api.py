@@ -11,6 +11,7 @@ from typing import Callable, Optional
 
 from repro.core.base_sky import base_sky
 from repro.core.bitset_refine import filter_refine_bitset_sky
+from repro.core.block_refine import filter_refine_block_sky
 from repro.core.counters import SkylineCounters
 from repro.core.cset import base_cset_sky
 from repro.core.filter_phase import filter_phase
@@ -50,6 +51,7 @@ def _parallel_refine_sky(graph: Graph, **options) -> SkylineResult:
 ALGORITHMS: dict[str, Callable[..., SkylineResult]] = {
     "filter_refine": filter_refine_sky,
     "filter_refine_bitset": filter_refine_bitset_sky,
+    "filter_refine_block": filter_refine_block_sky,
     "filter_refine_parallel": _parallel_refine_sky,
     "base": base_sky,
     "two_hop": base_two_hop_sky,
@@ -75,8 +77,12 @@ def neighborhood_skyline(
     algorithm:
         One of ``"filter_refine"`` (the paper's FilterRefineSky — the
         default), ``"filter_refine_bitset"`` (the same result via the
-        packed-bitset refine kernel — the fastest on dense candidate
-        sets, with an automatic bloom fallback past its word budget),
+        packed-bitset refine kernel — the fastest on small dense
+        candidate sets, with an automatic bloom fallback past its word
+        budget), ``"filter_refine_block"`` (the same result via the
+        block-vectorized counting kernel of
+        :mod:`repro.core.block_refine` — the fastest on large
+        candidate sets, no bit matrix needed),
         ``"filter_refine_parallel"`` (the same
         result computed with a multi-worker refine phase), ``"base"``
         (BaseSky), ``"two_hop"`` (Base2Hop), ``"cset"`` (BaseCSet),

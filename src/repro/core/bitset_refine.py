@@ -89,9 +89,14 @@ from repro.core.counters import NULL_COUNTERS, SkylineCounters
 from repro.core.filter_phase import filter_phase
 from repro.core.filter_refine import bloom_refine_pass
 from repro.core.result import SkylineResult
-from repro.errors import ParameterError
 from repro.graph.adjacency import Graph
-from repro.graph.bitmatrix import HAVE_NUMPY, CandidateBitMatrix, matrix_words
+from repro.graph.bitmatrix import (
+    DEFAULT_WORD_BUDGET,
+    HAVE_NUMPY,
+    CandidateBitMatrix,
+    matrix_words,
+    validate_word_budget,
+)
 
 __all__ = [
     "BitsetScanContext",
@@ -102,9 +107,6 @@ __all__ = [
     "density_prefers_bloom",
     "filter_refine_bitset_sky",
 ]
-
-#: Default cutover budget: 2²⁴ uint64 words = 128 MiB of packed rows.
-DEFAULT_WORD_BUDGET = 1 << 24
 
 #: Candidate-density fallback threshold: above this candidate fraction
 #: the prefiltering no longer thins the 2-hop lists enough for packing
@@ -358,8 +360,9 @@ def filter_refine_bitset_sky(
     word_budget:
         Dense/sparse cutover: when ``|C| · ⌈n/64⌉`` exceeds this many
         ``uint64`` words, refine falls back to the bloom path instead
-        of packing (``None`` → :data:`DEFAULT_WORD_BUDGET`; ``0``
-        forces the fallback on any non-empty candidate set).  Within
+        of packing (``None`` → :data:`DEFAULT_WORD_BUDGET`; budgets
+        ``<= 0`` are rejected — see
+        :func:`repro.graph.bitmatrix.validate_word_budget`).  Within
         budget, large candidate-dense sets fall back too — see
         :func:`density_prefers_bloom`.
     bloom_bits / bits_per_element / seed:
@@ -381,12 +384,7 @@ def filter_refine_bitset_sky(
     :func:`~repro.core.filter_refine.filter_refine_sky` (there is no
     approximate variant: the kernel has no bloom error to trade away).
     """
-    if word_budget is None:
-        word_budget = DEFAULT_WORD_BUDGET
-    elif word_budget < 0:
-        raise ParameterError(
-            f"word_budget must be >= 0, got {word_budget}"
-        )
+    word_budget = validate_word_budget(word_budget)
     stats = counters if counters is not None else NULL_COUNTERS
     n = graph.num_vertices
     candidates, dominator = filter_phase(graph, counters=counters)

@@ -67,6 +67,14 @@ def bloom_refine_pass(
     n = graph.num_vertices
     bit_of = blooms.bit_masks
     neighbors = graph.neighbors
+    # On CSR-backed graphs the 2-hop scan reads rows through zero-copy
+    # ndarray slices instead of materializing (and caching) a tuple per
+    # visited vertex — the refine pass touches far more rows than it
+    # revisits, so the per-row allocation was pure overhead.  Writes to
+    # ``dominator`` are wrapped in int() so results stay plain-int.
+    row_of = getattr(graph, "neighbors_array", None)
+    if row_of is None:
+        row_of = neighbors
     has_edge = graph.has_edge
     # degrees() reads indptr on CSR-backed graphs — no row
     # materialization just to measure lengths.
@@ -87,7 +95,7 @@ def bloom_refine_pass(
         for v in nbrs_u:
             if strictly_dominated:
                 break
-            for w in neighbors(v):
+            for w in row_of(v):
                 if w == u:
                     continue
                 if deg[w] < deg_u:
@@ -127,10 +135,10 @@ def bloom_refine_pass(
                     # Mutual inclusion: smaller ID dominates; keep
                     # scanning either way (paper lines 22-25).
                     if u > w and dominator[u] == u:
-                        dominator[u] = w
+                        dominator[u] = int(w)
                         stats.dominations_found += 1
                 elif dominator[u] == u:
-                    dominator[u] = w
+                    dominator[u] = int(w)
                     stats.dominations_found += 1
                     strictly_dominated = True
                     break

@@ -293,13 +293,14 @@ class CSRGraphView(Graph):
     the base class.
     """
 
-    __slots__ = ("_indptr", "_indices")
+    __slots__ = ("_indptr", "_indices", "_np_arrays")
 
     def __init__(self, indptr, indices):
         n = len(indptr) - 1
         super().__init__([None] * n, len(indices) // 2)
         self._indptr = indptr
         self._indices = indices
+        self._np_arrays = None
 
     def degree(self, u: int) -> int:
         return self._indptr[u + 1] - self._indptr[u]
@@ -317,6 +318,26 @@ class CSRGraphView(Graph):
             row = tuple(self._indices[indptr[u] : indptr[u + 1]])
             self._adj[u] = row
         return row
+
+    def csr_arrays(self):
+        """The borrowed buffers wrapped as zero-copy ndarrays.
+
+        Requires numpy (callers on the array substrate are already
+        numpy-gated); the wrappers are built once and cached.
+        """
+        if self._np_arrays is None:
+            import numpy as np
+
+            self._np_arrays = (
+                np.asarray(self._indptr),
+                np.asarray(self._indices),
+            )
+        return self._np_arrays
+
+    def neighbors_array(self, u: int):
+        """``N(u)`` as a zero-copy slice of the borrowed indices buffer."""
+        indptr, indices = self.csr_arrays()
+        return indices[indptr[u] : indptr[u + 1]]
 
     def has_edge(self, u: int, v: int) -> bool:
         a, b = (u, v) if self.degree(u) <= self.degree(v) else (v, u)

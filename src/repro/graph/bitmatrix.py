@@ -53,10 +53,18 @@ PACK_CHUNK_ROWS = 256
 
 __all__ = [
     "CandidateBitMatrix",
+    "DEFAULT_WORD_BUDGET",
     "HAVE_NUMPY",
     "matrix_words",
+    "validate_word_budget",
     "words_for_vertices",
 ]
+
+#: Default dense/sparse cutover budget: 2²⁴ uint64 words = 128 MiB of
+#: packed rows.  Shared by every refine entry point — this module is
+#: the one home of the budget math (:func:`words_for_vertices` /
+#: :func:`matrix_words` / :func:`validate_word_budget`).
+DEFAULT_WORD_BUDGET = 1 << 24
 
 
 def words_for_vertices(num_vertices: int) -> int:
@@ -83,6 +91,28 @@ def matrix_words(num_rows: int, num_vertices: int) -> int:
     if num_rows < 0:
         raise ParameterError(f"row count must be >= 0, got {num_rows}")
     return num_rows * words_for_vertices(num_vertices)
+
+
+def validate_word_budget(word_budget: Optional[int]) -> int:
+    """Resolve and validate a ``word_budget`` at the API/CLI boundary.
+
+    ``None`` resolves to :data:`DEFAULT_WORD_BUDGET`.  Nonpositive
+    budgets are rejected outright: a budget of zero used to route
+    silently to the bloom fallback, which callers invariably meant as
+    "pick the kernel for me" — that spelling is ``refine="auto"`` (or
+    simply a small positive budget); a *parameter* that can never admit
+    any matrix is a mistake worth surfacing.
+    """
+    if word_budget is None:
+        return DEFAULT_WORD_BUDGET
+    if word_budget <= 0:
+        raise ParameterError(
+            f"word_budget must be a positive number of uint64 words, "
+            f"got {word_budget} (the bloom fallback is chosen "
+            f"automatically whenever the packed matrix would exceed "
+            f"the budget)"
+        )
+    return word_budget
 
 
 class CandidateBitMatrix:
@@ -128,23 +158,49 @@ class CandidateBitMatrix:
         n = graph.num_vertices
         words = words_for_vertices(n)
         rows = _np.zeros((len(verts), words), dtype=_np.uint64)
-        if words:
-            # packbits(bitorder="little") writes vertex x to byte x>>3,
-            # bit x&7 — byte-for-byte the little-endian uint64 layout.
-            bits = _np.zeros((PACK_CHUNK_ROWS, words * 64), dtype=bool)
-            # CSR-backed graphs hand out zero-copy ndarray rows; the
-            # list path converts its tuples, since a bare tuple would be
-            # misread as a multi-dimensional index.
-            row_of = getattr(graph, "neighbors_array", None)
+        if not words or not verts:
+            return cls(n, verts, rows)
+        # packbits(bitorder="little") writes vertex x to byte x>>3,
+        # bit x&7 — byte-for-byte the little-endian uint64 layout.
+        bits = _np.zeros((PACK_CHUNK_ROWS, words * 64), dtype=bool)
+        csr_arrays = getattr(graph, "csr_arrays", None)
+        if csr_arrays is not None:
+            # CSR substrate: one ragged gather + one fancy-index
+            # scatter per chunk sets every bit of up to
+            # PACK_CHUNK_ROWS rows at once — no per-row Python.
+            indptr, indices = csr_arrays()
+            indptr = _np.asarray(indptr).astype(_np.int64, copy=False)
+            indices = _np.asarray(indices)
+            vert_arr = _np.asarray(verts, dtype=_np.int64)
+            for lo in range(0, len(verts), PACK_CHUNK_ROWS):
+                chunk = vert_arr[lo : lo + PACK_CHUNK_ROWS]
+                bits[: len(chunk)] = False
+                lens = indptr[chunk + 1] - indptr[chunk]
+                total = int(lens.sum())
+                if total:
+                    offsets = _np.arange(
+                        total, dtype=_np.int64
+                    ) - _np.repeat(_np.cumsum(lens) - lens, lens)
+                    cols = indices[
+                        _np.repeat(indptr[chunk], lens) + offsets
+                    ]
+                    row_ids = _np.repeat(
+                        _np.arange(len(chunk), dtype=_np.int64), lens
+                    )
+                    bits[row_ids, cols] = True
+                packed = _np.packbits(
+                    bits[: len(chunk)], axis=1, bitorder="little"
+                )
+                rows[lo : lo + len(chunk)] = packed.view(_np.uint64)
+        else:
+            # List substrate: per-row scatter (a bare tuple would be
+            # misread as a multi-dimensional index, hence the list()).
             for lo in range(0, len(verts), PACK_CHUNK_ROWS):
                 chunk = verts[lo : lo + PACK_CHUNK_ROWS]
                 bits[: len(chunk)] = False
                 for i, u in enumerate(chunk):
-                    nbrs = (
-                        row_of(u) if row_of is not None
-                        else list(graph.neighbors(u))
-                    )
-                    if len(nbrs):
+                    nbrs = list(graph.neighbors(u))
+                    if nbrs:
                         bits[i, nbrs] = True
                 packed = _np.packbits(
                     bits[: len(chunk)], axis=1, bitorder="little"

@@ -36,7 +36,8 @@ from array import array
 from typing import Optional
 
 from repro.bloom.vertex_filters import width_for_max_degree
-from repro.core.bitset_refine import DEFAULT_WORD_BUDGET, density_prefers_bloom
+from repro.core.bitset_refine import density_prefers_bloom
+from repro.core.block_refine import choose_refine_kernel
 from repro.core.counters import SkylineCounters
 from repro.core.filter_phase import filter_phase
 from repro.core.result import SkylineResult
@@ -46,7 +47,9 @@ from repro.graph.bitmatrix import (
     HAVE_NUMPY,
     CandidateBitMatrix,
     matrix_words,
+    validate_word_budget,
 )
+from repro.graph.cores import core_decomposition
 from repro.parallel.chunks import chunk_ranges, default_chunk_size
 from repro.parallel.params import validate_pool_params
 from repro.parallel.shm import (
@@ -142,13 +145,18 @@ def parallel_refine_sky(
         and a parallel run could return a different subset.
     refine:
         Pair-test kernel for the scans: ``"bloom"`` (the default bloom
-        ladder) or ``"bitset"`` (the packed AND-NOT of
+        ladder), ``"bitset"`` (the packed AND-NOT of
         :mod:`repro.core.bitset_refine`; the parent packs the candidate
-        matrix once and ships raw words, workers rebuild views).  Both
-        kernels accept exactly the same pairs, so the result is
-        identical either way; counters differ (bitset scans never
-        iterate non-candidates and keep ``bloom_*`` at zero) but remain
-        deterministic for any worker count and chunking.
+        matrix once and ships raw words, workers rebuild views),
+        ``"block"`` (the block-vectorized counting kernel of
+        :mod:`repro.core.block_refine`; the parent peels the k-core
+        decomposition once and ships the core numbers), or ``"auto"``
+        (the three-way cutover of
+        :func:`~repro.core.block_refine.choose_refine_kernel`, decided
+        here in the parent).  All kernels accept exactly the same
+        pairs, so the result is identical whichever runs; counters
+        differ per kernel but remain deterministic for any worker
+        count and chunking.
     word_budget:
         Bitset cutover as in
         :func:`~repro.core.bitset_refine.filter_refine_bitset_sky`:
@@ -159,6 +167,8 @@ def parallel_refine_sky(
         dense inputs fall back too
         (:func:`~repro.core.bitset_refine.density_prefers_bloom`) —
         the parent decides, so one run uses one kernel throughout.
+        Nonpositive budgets are rejected
+        (:func:`~repro.graph.bitmatrix.validate_word_budget`).
     density_fallback:
         ``False`` disables the candidate-density cutover only, as in
         :func:`~repro.core.bitset_refine.filter_refine_bitset_sky`.
@@ -207,16 +217,12 @@ def parallel_refine_sky(
             "algorithm='filter_refine' with exact=False for the "
             "approximate variant"
         )
-    if refine not in ("bloom", "bitset"):
+    if refine not in ("bloom", "bitset", "block", "auto"):
         raise ParameterError(
-            f"unknown refine kernel {refine!r}; choose 'bloom' or 'bitset'"
+            f"unknown refine kernel {refine!r}; choose 'bloom', "
+            "'bitset', 'block' or 'auto'"
         )
-    if word_budget is None:
-        word_budget = DEFAULT_WORD_BUDGET
-    elif word_budget < 0:
-        raise ParameterError(
-            f"word_budget must be >= 0, got {word_budget}"
-        )
+    word_budget = validate_word_budget(word_budget)
     if session is not None:
         session.check_open()
         if session.graph is not graph:
@@ -288,21 +294,38 @@ def parallel_refine_sky(
     n = graph.num_vertices
     candidates, dominator = filter_phase(graph, counters=counters)
 
-    # The dense/sparse cutover is decided here in the parent — workers
-    # never second-guess it — so one run uses one kernel throughout.
+    # The kernel cutover is decided here in the parent — workers never
+    # second-guess it — so one run uses one kernel throughout.
     effective_refine = refine
     words_needed = matrix_words(len(candidates), n)
     bitset_fallback_reason = None
-    if refine == "bitset":
+    if refine == "auto":
+        # choose_refine_kernel only picks "bitset" below the block
+        # minimum candidate count, where the density fallback never
+        # applies — no second cutover pass needed.
+        effective_refine = choose_refine_kernel(
+            len(candidates), n, word_budget=word_budget
+        )
+    elif refine == "bitset":
         if not HAVE_NUMPY or words_needed > word_budget:
             bitset_fallback_reason = "word-budget"
         elif density_fallback and density_prefers_bloom(len(candidates), n):
             bitset_fallback_reason = "candidate-density"
         if bitset_fallback_reason is not None:
             effective_refine = "bloom"
+    elif refine == "block" and not HAVE_NUMPY:
+        bitset_fallback_reason = "numpy-missing"
+        effective_refine = "bloom"
     matrix = (
         CandidateBitMatrix.from_graph(graph, candidates)
         if effective_refine == "bitset"
+        else None
+    )
+    # Block mode: peel the k-core decomposition once, parent-side; it
+    # rides to workers like any other call-scoped snapshot.
+    cores = (
+        core_decomposition(graph).core
+        if effective_refine == "block"
         else None
     )
 
@@ -334,6 +357,7 @@ def parallel_refine_sky(
                         seed=seed,
                         refine=effective_refine,
                         matrix=matrix,
+                        cores=cores,
                     )
                 )
             return _fb[0]
@@ -373,6 +397,11 @@ def parallel_refine_sky(
                     if matrix is not None
                     else None
                 )
+                cores_ref = (
+                    plane.publish(array("q", cores), "q")
+                    if cores is not None
+                    else None
+                )
                 epoch = 1
             else:
                 plane = session.plane
@@ -389,6 +418,11 @@ def parallel_refine_sky(
                     if matrix is not None
                     else None
                 )
+                cores_ref = (
+                    session.cached_segment("cores", array("q", cores), "q")
+                    if cores is not None
+                    else None
+                )
                 epoch = session.next_epoch()
             spec = RefineSpec(
                 epoch=epoch,
@@ -399,6 +433,7 @@ def parallel_refine_sky(
                     cand_ref.name,
                     dom_ref.name,
                     matrix_ref.name if matrix_ref is not None else None,
+                    cores_ref.name if cores_ref is not None else None,
                 ),
                 refine=effective_refine,
                 bits=bits,
@@ -406,6 +441,7 @@ def parallel_refine_sky(
                 candidates=cand_ref,
                 dominator=dom_ref,
                 matrix=matrix_ref,
+                cores=cores_ref,
             )
             plane_publish_s = time.perf_counter() - publish_t0
             # A session supervisor accumulates events across calls;
@@ -470,6 +506,7 @@ def parallel_refine_sky(
                 seed=seed,
                 refine=effective_refine,
                 matrix=matrix,
+                cores=cores,
             )
             supervisor = PoolSupervisor(
                 workers=workers,
@@ -522,6 +559,7 @@ def parallel_refine_sky(
             seed=seed,
             refine=effective_refine,
             matrix=matrix,
+            cores=cores,
         )
         dominated = []
         for task in status_tasks:
@@ -561,12 +599,18 @@ def parallel_refine_sky(
             counters.extra["bitset_fallback_reason"] = bitset_fallback_reason
             if bitset_fallback_reason == "word-budget":
                 counters.extra["bitset_words_over_budget"] = words_needed
-            else:
+            elif bitset_fallback_reason == "candidate-density":
                 counters.extra["candidate_density"] = (
                     len(candidates) / n if n else 0.0
                 )
         else:
             counters.extra["refine_path"] = effective_refine
+        if refine == "auto":
+            counters.extra["refine_requested"] = "auto"
+        if effective_refine == "block":
+            # The chunk merges already accumulated the pretest tally;
+            # pin the key even when no pair was ever rejected.
+            counters.extra.setdefault("core_pretest_rejects", 0)
 
     skyline = tuple(u for u in range(n) if final[u] == u)
     return SkylineResult(

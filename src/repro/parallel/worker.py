@@ -41,6 +41,16 @@ rows are never re-packed per process.  Equivalence transfers verbatim:
 the decomposition argument above never looks inside the pair test, only
 at which pairs are skipped, and the bitset test accepts exactly the
 pairs the exact bloom ladder accepts.
+
+And in a block-vectorized flavor (``refine="block"``): the chunk
+runners hand whole candidate ranges to
+:mod:`repro.core.block_refine`'s batch kernels instead of scanning one
+vertex at a time.  The same two-pass decomposition applies unchanged —
+the block kernel implements exactly the status/witness predicates
+above, in ndarray blocks — so chunked totals and outputs match the
+scalar kernels bit for bit.  The engine computes the k-core numbers
+once in the parent and ships them like any other call-scoped segment;
+workers never re-peel the graph.
 """
 
 from __future__ import annotations
@@ -50,6 +60,11 @@ from typing import NamedTuple, Optional, Sequence
 
 from repro.bloom.vertex_filters import VertexBloomIndex
 from repro.core.bitset_refine import BitsetScanContext
+from repro.core.block_refine import (
+    BlockRefineContext,
+    block_status_chunk,
+    block_witness_chunk,
+)
 from repro.core.counters import SkylineCounters
 from repro.graph.adjacency import CSRGraphView, Graph
 from repro.graph.bitmatrix import CandidateBitMatrix
@@ -94,6 +109,8 @@ class RefineSpec(NamedTuple):
     candidates: SegmentRef
     dominator: SegmentRef
     matrix: Optional[SegmentRef]
+    #: Parent-computed k-core numbers (block kernel only; else None).
+    cores: Optional[SegmentRef] = None
 
 
 class RefineState:
@@ -101,8 +118,9 @@ class RefineState:
 
     ``refine`` selects the kernel: ``"bloom"`` states carry a
     :class:`VertexBloomIndex`, ``"bitset"`` states a
-    :class:`~repro.core.bitset_refine.BitsetScanContext` (and no blooms
-    — workers in bitset mode never build a filter index).
+    :class:`~repro.core.bitset_refine.BitsetScanContext`, ``"block"``
+    states a :class:`~repro.core.block_refine.BlockRefineContext` (the
+    non-bloom modes never build a filter index).
     """
 
     __slots__ = (
@@ -145,12 +163,18 @@ def build_state(
     seed: int,
     refine: str = "bloom",
     matrix: Optional[CandidateBitMatrix] = None,
+    cores: Optional[Sequence[int]] = None,
 ) -> RefineState:
     """A :class:`RefineState` over a live graph (in-process execution)."""
     if refine == "bitset":
         ctx = BitsetScanContext(
             graph, candidates, matrix, instrumented=False
         )
+        return RefineState(
+            graph, candidates, dominator, None, ctx, refine
+        )
+    if refine == "block":
+        ctx = BlockRefineContext(graph, candidates, dominator, cores=cores)
         return RefineState(
             graph, candidates, dominator, None, ctx, refine
         )
@@ -167,12 +191,15 @@ def build_payload(
     seed: int,
     refine: str = "bloom",
     matrix: Optional[CandidateBitMatrix] = None,
+    cores: Optional[Sequence[int]] = None,
 ) -> tuple:
     """The pickle-cheap snapshot shipped to every worker's initializer.
 
     In bitset mode the matrix rides along as its
     :meth:`~repro.graph.bitmatrix.CandidateBitMatrix.to_payload` raw
-    bytes; workers rebuild read-only views, never re-pack.
+    bytes; workers rebuild read-only views, never re-pack.  In block
+    mode the parent's k-core numbers ride the same way, so workers
+    never re-peel the graph.
     """
     indptr, indices = graph.to_csr()
     return (
@@ -184,6 +211,7 @@ def build_payload(
         seed,
         refine,
         matrix.to_payload() if matrix is not None else None,
+        array("q", cores) if cores is not None else None,
     )
 
 
@@ -202,7 +230,7 @@ _CALL: Optional[dict] = None
 def init_worker(payload: tuple) -> None:
     """Pool initializer for either data plane.
 
-    Pickle plane: the classic 8-field payload of :func:`build_payload`
+    Pickle plane: the classic 9-field payload of :func:`build_payload`
     — rebuild graph, candidates and the kernel once per process.  Shm
     plane: ``("shm", {"indptr": ref, "indices": ref})`` — attach the
     CSR segments and build a lazy :class:`~repro.graph.adjacency.
@@ -230,6 +258,7 @@ def init_worker(payload: tuple) -> None:
         seed,
         refine,
         matrix_payload,
+        cores,
     ) = payload
     graph = Graph.from_csr(indptr, indices)
     matrix = (
@@ -245,6 +274,7 @@ def init_worker(payload: tuple) -> None:
         seed=seed,
         refine=refine,
         matrix=matrix,
+        cores=cores,
     )
 
 
@@ -274,6 +304,10 @@ def _call_state(spec: RefineSpec) -> RefineState:
             _GRAPH.num_vertices, candidates, attach_view(spec.matrix)
         )
         names.add(spec.matrix.name)
+    cores = None
+    if spec.cores is not None:
+        cores = attach_view(spec.cores)
+        names.add(spec.cores.name)
     state = build_state(
         _GRAPH,
         candidates,
@@ -282,6 +316,7 @@ def _call_state(spec: RefineSpec) -> RefineState:
         seed=spec.seed,
         refine=spec.refine,
         matrix=matrix,
+        cores=cores,
     )
     _CALL = {"key": spec.key, "state": state, "names": names}
     if cached is not None:
@@ -534,12 +569,31 @@ def run_status_chunk(task: tuple, state: Optional[RefineState] = None):
         first = task[0]
         state = _STATE if isinstance(first, int) else _call_state(first)
     lo, hi = _task_bounds(task)
-    scan = scan_status_bitset if state.refine == "bitset" else scan_status
     stats = SkylineCounters()
+    if state.refine == "block":
+        return block_status_chunk(state.ctx, lo, hi, stats), _chunk_stats(
+            stats
+        )
+    scan = scan_status_bitset if state.refine == "bitset" else scan_status
     dominated = [
         u for u in state.candidates[lo:hi] if scan(state, u, stats)
     ]
-    return dominated, stats.as_dict()
+    return dominated, _chunk_stats(stats)
+
+
+def _chunk_stats(stats: SkylineCounters) -> dict:
+    """A chunk's counter snapshot, extras folded in as plain ints.
+
+    ``as_dict`` excludes ``extra`` by design; the block kernel's
+    instrumentation (``core_pretest_rejects``) lives there, and the
+    supervisor's merge routes unknown keys back into ``extra`` — so
+    folding the int-valued extras into the flat dict round-trips them.
+    """
+    out = stats.as_dict()
+    for key, value in stats.extra.items():
+        if isinstance(value, int) and not isinstance(value, bool):
+            out[key] = value
+    return out
 
 
 def _valid_stats(stats) -> bool:
@@ -617,8 +671,12 @@ def run_witness_chunk(task: tuple, state: Optional[RefineState] = None):
             if _CALL is not None and _CALL["state"] is state:
                 _CALL["names"].add(dom_ref.name)
         dominated = attach_view(dom_ref)
+    stats = SkylineCounters()
+    if state.refine == "block":
+        state.ctx.ensure_refine_dominated(dominated)
+        pairs = block_witness_chunk(state.ctx, dominated[lo:hi], stats)
+        return pairs, _chunk_stats(stats)
     _ensure_flags(state, dominated)
     scan = scan_witness_bitset if state.refine == "bitset" else scan_witness
-    stats = SkylineCounters()
     pairs = [(u, scan(state, u, stats)) for u in dominated[lo:hi]]
-    return pairs, stats.as_dict()
+    return pairs, _chunk_stats(stats)

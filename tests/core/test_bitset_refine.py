@@ -52,10 +52,12 @@ def test_bitset_path_extras():
     )
 
 
-def test_word_budget_zero_forces_fallback():
+def test_word_budget_tiny_forces_fallback():
+    # karate packs 18 rows of 1 word each; a 1-word budget can never
+    # admit the matrix, so the run falls back to the bloom kernel.
     g = karate_club()
     counters = SkylineCounters()
-    result = filter_refine_bitset_sky(g, word_budget=0, counters=counters)
+    result = filter_refine_bitset_sky(g, word_budget=1, counters=counters)
     ref = filter_refine_sky(g)
     assert result.dominator == ref.dominator
     assert result.algorithm == "FilterRefineSkyBitset(bloom-fallback)"
@@ -79,9 +81,13 @@ def test_cutover_boundary_exact():
     assert at.dominator == below.dominator
 
 
-def test_negative_word_budget_rejected():
+def test_nonpositive_word_budget_rejected():
+    # Boundary validation: zero used to route silently to the bloom
+    # fallback; both zero and negative budgets are now hard errors.
     with pytest.raises(ParameterError):
         filter_refine_bitset_sky(karate_club(), word_budget=-1)
+    with pytest.raises(ParameterError):
+        filter_refine_bitset_sky(karate_club(), word_budget=0)
 
 
 def test_api_dispatch():
@@ -90,9 +96,13 @@ def test_api_dispatch():
     assert result.skyline == filter_refine_sky(g).skyline
     # The word budget flows through the options dict.
     forced = neighborhood_skyline(
-        g, algorithm="filter_refine_bitset", word_budget=0
+        g, algorithm="filter_refine_bitset", word_budget=1
     )
     assert forced.algorithm == "FilterRefineSkyBitset(bloom-fallback)"
+    with pytest.raises(ParameterError):
+        neighborhood_skyline(
+            g, algorithm="filter_refine_bitset", word_budget=0
+        )
 
 
 def test_missing_numpy_falls_back(monkeypatch):
@@ -195,7 +205,7 @@ class TestDensityHeuristic:
     def test_word_budget_reason_recorded(self):
         g = karate_club()
         counters = SkylineCounters()
-        filter_refine_bitset_sky(g, word_budget=0, counters=counters)
+        filter_refine_bitset_sky(g, word_budget=1, counters=counters)
         assert counters.extra["bitset_fallback_reason"] == "word-budget"
 
     @pytest.mark.skipif(not HAVE_NUMPY, reason="requires numpy")

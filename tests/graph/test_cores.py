@@ -1,0 +1,120 @@
+"""Unit tests for the k-core decomposition (``repro.graph.cores``)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.graph.adjacency import Graph
+from repro.graph.cores import (
+    HAVE_NUMPY,
+    CoreDecomposition,
+    core_decomposition,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.karate import karate_club
+from tests.conftest import graphs, power_law_graphs
+
+COMMON = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def oracle_core_numbers(g: Graph) -> list[int]:
+    """Textbook one-vertex-at-a-time peel (Batagelj–Zaveršnik).
+
+    Repeatedly removes a minimum-degree vertex; the core number is the
+    running maximum of the removal-time degrees.  Core numbers are
+    unique, so any correct decomposition must match this exactly.
+    """
+    n = g.num_vertices
+    deg = list(g.degrees())
+    removed = [False] * n
+    core = [0] * n
+    k = 0
+    for _ in range(n):
+        u = min(
+            (v for v in range(n) if not removed[v]),
+            key=lambda v: (deg[v], v),
+        )
+        k = max(k, deg[u])
+        core[u] = k
+        removed[u] = True
+        for w in g.neighbors(u):
+            if not removed[w]:
+                deg[w] -= 1
+    return core
+
+
+def assert_valid_decomposition(g: Graph, dec: CoreDecomposition) -> None:
+    n = g.num_vertices
+    assert dec.core == oracle_core_numbers(g)
+    assert sorted(dec.order) == list(range(n))
+    assert dec.degeneracy == (max(dec.core) if n else 0)
+    # Degeneracy-ordering property: every vertex has at most
+    # `degeneracy` neighbors later in the peel order.
+    rank = [0] * n
+    for pos, u in enumerate(dec.order):
+        rank[u] = pos
+    for u in range(n):
+        right = sum(1 for v in g.neighbors(u) if rank[v] > rank[u])
+        assert right <= dec.degeneracy
+    # Plain Python ints on every backend (worker payloads require it).
+    assert all(type(c) is int for c in dec.core)
+    assert all(type(u) is int for u in dec.order)
+    assert type(dec.degeneracy) is int
+
+
+@COMMON
+@given(graphs())
+def test_matches_oracle_random(g):
+    assert_valid_decomposition(g, core_decomposition(g))
+
+
+@COMMON
+@given(power_law_graphs())
+def test_matches_oracle_power_law(g):
+    assert_valid_decomposition(g, core_decomposition(g))
+
+
+def test_known_graphs():
+    assert core_decomposition(karate_club()).degeneracy == 4
+    assert core_decomposition(complete_graph(6)).core == [5] * 6
+    assert core_decomposition(cycle_graph(7)).core == [2] * 7
+    assert core_decomposition(path_graph(5)).core == [1] * 5
+    star = core_decomposition(star_graph(6))
+    assert star.core == [1] * 6
+    assert star.degeneracy == 1
+
+
+def test_empty_and_isolated():
+    assert core_decomposition(Graph.from_edges(0, [])) == ([], [], 0)
+    dec = core_decomposition(Graph.from_edges(3, []))
+    assert dec.core == [0, 0, 0]
+    assert dec.degeneracy == 0
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="requires numpy")
+@COMMON
+@given(graphs())
+def test_backends_agree_exactly(g):
+    """The numpy batch peel and the pure-Python schedule are identical —
+    same cores, same order, same degeneracy — on list and CSR backends."""
+    from repro.graph.cores import _peel_python
+
+    slow = _peel_python(g)
+    assert core_decomposition(g) == slow
+    assert core_decomposition(CSRGraph.from_graph(g)) == slow
+
+
+def test_karate_csr_matches_list():
+    g = karate_club()
+    assert core_decomposition(g) == core_decomposition(
+        CSRGraph.from_graph(g)
+    )

@@ -86,15 +86,17 @@ def test_unknown_refine_kernel_rejected(karate):
         parallel_refine_sky(karate, refine="murmur")
 
 
-def test_negative_word_budget_rejected(karate):
+def test_nonpositive_word_budget_rejected(karate):
     with pytest.raises(ParameterError, match="word_budget"):
         parallel_refine_sky(karate, refine="bitset", word_budget=-1)
+    with pytest.raises(ParameterError, match="word_budget"):
+        parallel_refine_sky(karate, refine="bitset", word_budget=0)
 
 
 def test_bitset_refine_over_budget_falls_back(karate):
     counters = SkylineCounters()
     result = parallel_refine_sky(
-        karate, refine="bitset", word_budget=0, counters=counters
+        karate, refine="bitset", word_budget=1, counters=counters
     )
     assert counters.extra["refine_path"] == "bloom-fallback"
     assert "bitset_words_over_budget" in counters.extra

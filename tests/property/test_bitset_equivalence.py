@@ -93,13 +93,15 @@ def test_counters_consistency(g):
 def test_cutover_both_sides_agree(g):
     candidates, _ = filter_phase(g)
     words = matrix_words(len(candidates), g.num_vertices)
-    bitset_side = filter_refine_bitset_sky(g, word_budget=words)
+    # Budgets must be positive now, so the under-budget probe clamps to
+    # one word; below two words both sides run the packed kernel.
+    bitset_side = filter_refine_bitset_sky(g, word_budget=max(words, 1))
     bloom_side = filter_refine_bitset_sky(
-        g, word_budget=max(words - 1, 0)
+        g, word_budget=max(words - 1, 1)
     )
     assert bitset_side.skyline == bloom_side.skyline
     assert bitset_side.dominator == bloom_side.dominator
-    if words > 0:
+    if words > 1:
         assert bitset_side.algorithm == "FilterRefineSkyBitset"
         assert (
             bloom_side.algorithm == "FilterRefineSkyBitset(bloom-fallback)"

@@ -1,0 +1,227 @@
+"""Differential safety net for the block-vectorized refine kernel.
+
+``filter_refine_block`` must return the *same* skyline, dominator
+witnesses and candidate set as the scalar bitset kernel and the
+sequential bloom baseline (which the rest of the suite pins to
+``naive``) — bit for bit, on hypothesis-generated graphs, on the
+twin-heavy tie-break stressors, on every registered dataset, and
+through the parallel engine on both data planes.  The counter relations
+the kernel claims are pinned too: same vertices examined, same
+dominations found, bulk skip tallies never undercounting, zero bloom
+machinery, and the core-number pretest's rejects surfaced in
+``counters.extra``.
+
+The large workload tier is covered by the same differential run in
+``benchmarks/bench_refine_vector.py`` (which must assert bit-for-bit
+equality before recording its speedup rows); rerunning the ~50s-per-
+dataset bloom baseline here would dominate the whole suite, so the
+large-tier test is opt-in via ``REPRO_LARGE_TESTS=1``.
+"""
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import neighborhood_skyline
+from repro.core.bitset_refine import filter_refine_bitset_sky
+from repro.core.block_refine import (
+    HAVE_NUMPY,
+    choose_refine_kernel,
+    filter_refine_block_sky,
+)
+from repro.core.counters import SkylineCounters
+from repro.core.filter_refine import filter_refine_sky
+from repro.core.naive import naive_skyline
+from repro.parallel import parallel_refine_sky
+from repro.workloads import load, names
+from tests.conftest import graphs, power_law_graphs
+from tests.property.test_parallel_equivalence import twin_heavy_graphs
+
+COMMON = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Pool-backed examples fork real worker processes; keep the count low.
+POOLED = settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+RUN_LARGE = os.environ.get("REPRO_LARGE_TESTS") == "1"
+
+
+def assert_same_result(blk, ref):
+    assert blk.skyline == ref.skyline
+    assert blk.dominator == ref.dominator
+    assert blk.candidates == ref.candidates
+
+
+def assert_counter_relations(c_blk: SkylineCounters, c_ref: SkylineCounters):
+    # Same candidates scanned, same dominations land.
+    assert c_blk.vertices_examined == c_ref.vertices_examined
+    assert c_blk.dominations_found == c_ref.dominations_found
+    # Bulk mask tallies may overshoot a strict-exit scalar scan (the
+    # block never early-exits a gathered batch), never undercount.
+    assert c_blk.degree_skips >= c_ref.degree_skips
+    # The kernel owns no bloom machinery and needs no exact recheck.
+    assert c_blk.bloom_subset_rejects == 0
+    assert c_blk.bloom_member_checks == 0
+    assert c_blk.bloom_member_rejects == 0
+    assert c_blk.bloom_false_positives == 0
+    assert c_blk.nbr_checks == 0
+    # Core pretest instrumentation is always surfaced on the block path.
+    assert c_blk.extra.get("core_pretest_rejects", -1) >= 0
+
+
+@COMMON
+@given(graphs())
+def test_block_matches_bloom_bitset_naive(g):
+    seq = filter_refine_sky(g)
+    bit = filter_refine_bitset_sky(g)
+    blk = filter_refine_block_sky(g)
+    assert_same_result(blk, seq)
+    assert_same_result(blk, bit)
+    assert blk.skyline == naive_skyline(g).skyline
+
+
+@COMMON
+@given(graphs())
+def test_block_counter_relations(g):
+    c_seq, c_blk = SkylineCounters(), SkylineCounters()
+    filter_refine_sky(g, counters=c_seq)
+    filter_refine_block_sky(g, counters=c_blk)
+    assert_counter_relations(c_blk, c_seq)
+    if HAVE_NUMPY:
+        assert c_blk.extra["refine_path"] == "block"
+
+
+@COMMON
+@given(power_law_graphs())
+def test_block_matches_sequential_power_law(g):
+    assert_same_result(filter_refine_block_sky(g), filter_refine_sky(g))
+
+
+@COMMON
+@given(twin_heavy_graphs())
+def test_block_twin_heavy_tie_breaks(g):
+    # Twin classes maximize mutual inclusions, the regime where a wrong
+    # Def. 2 settle rule (strict vs ID tie-break) diverges first.
+    seq = filter_refine_sky(g)
+    blk = filter_refine_block_sky(g)
+    assert_same_result(blk, seq)
+    assert blk.skyline == naive_skyline(g).skyline
+
+
+@COMMON
+@given(graphs(), st.integers(min_value=1, max_value=64))
+def test_block_chunking_invariance(g, entry_budget):
+    """Any entry budget (however absurdly small) gives the same output
+    and the same counter totals — blocks are a pure scheduling knob."""
+    c_ref, c_tiny = SkylineCounters(), SkylineCounters()
+    ref = filter_refine_block_sky(g, counters=c_ref)
+    tiny = filter_refine_block_sky(
+        g, entry_budget=entry_budget, counters=c_tiny
+    )
+    assert_same_result(tiny, ref)
+    assert c_tiny.as_dict() == c_ref.as_dict()
+    assert c_tiny.extra.get("core_pretest_rejects") == c_ref.extra.get(
+        "core_pretest_rejects"
+    )
+
+
+@COMMON
+@given(graphs(), st.sampled_from([1, 2, 5, None]))
+def test_parallel_block_in_process(g, chunk_size):
+    c = SkylineCounters()
+    par = parallel_refine_sky(
+        g, workers=1, chunk_size=chunk_size, refine="block", counters=c
+    )
+    assert_same_result(par, filter_refine_sky(g))
+    if HAVE_NUMPY:
+        assert c.extra["refine_path"] == "block"
+        assert c.extra.get("core_pretest_rejects", -1) >= 0
+
+
+@POOLED
+@given(graphs(), st.sampled_from(["shm", "pickle"]))
+def test_parallel_block_pooled_both_planes(g, plane):
+    par = parallel_refine_sky(
+        g,
+        workers=2,
+        small_graph_edges=0,
+        refine="block",
+        data_plane=plane,
+        counters=SkylineCounters(),
+    )
+    assert_same_result(par, filter_refine_sky(g))
+
+
+@POOLED
+@given(graphs())
+def test_parallel_auto_kernel_matches(g):
+    c = SkylineCounters()
+    par = parallel_refine_sky(
+        g,
+        workers=2,
+        small_graph_edges=0,
+        refine="auto",
+        counters=c,
+    )
+    assert_same_result(par, filter_refine_sky(g))
+    assert c.extra["refine_requested"] == "auto"
+    assert c.extra["refine_path"] in ("bloom", "bitset", "block")
+
+
+def test_choose_refine_kernel_cutover():
+    if not HAVE_NUMPY:
+        assert choose_refine_kernel(10, 100, word_budget=1 << 20) == "bloom"
+        return
+    # Small candidate sets within budget stay scalar bitset.
+    assert choose_refine_kernel(18, 34, word_budget=1 << 20) == "bitset"
+    # Large candidate sets go block regardless of the matrix budget.
+    assert choose_refine_kernel(10_000, 50_000, word_budget=1 << 24) == "block"
+    # Small but over-budget sets go block too (no matrix needed there).
+    assert choose_refine_kernel(100, 1_000_000, word_budget=1) == "block"
+
+
+@pytest.mark.parametrize("name", names())
+def test_every_standard_dataset_three_way(name):
+    g = load(name)
+    c_seq, c_bit, c_blk = (
+        SkylineCounters(),
+        SkylineCounters(),
+        SkylineCounters(),
+    )
+    seq = filter_refine_sky(g, counters=c_seq)
+    bit = filter_refine_bitset_sky(g, counters=c_bit)
+    blk = neighborhood_skyline(
+        g, algorithm="filter_refine_block", counters=c_blk
+    )
+    assert_same_result(blk, seq)
+    assert_same_result(blk, bit)
+    assert_counter_relations(c_blk, c_seq)
+
+
+@pytest.mark.skipif(
+    not RUN_LARGE,
+    reason=(
+        "large-tier differential takes minutes (sequential bloom at "
+        "million-edge scale); set REPRO_LARGE_TESTS=1 to run — "
+        "benchmarks/bench_refine_vector.py asserts the same equality "
+        "on kron_large in CI"
+    ),
+)
+@pytest.mark.parametrize("name", names(tier="large"))
+def test_every_large_dataset_three_way(name):
+    g = load(name)
+    seq = filter_refine_sky(g)
+    blk = filter_refine_block_sky(g)
+    bit = filter_refine_bitset_sky(g)
+    assert_same_result(blk, seq)
+    assert bit.skyline == seq.skyline
+    assert bit.dominator == seq.dominator
