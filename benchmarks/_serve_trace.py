@@ -45,11 +45,17 @@ class TraceRequest:
 
 @dataclass(frozen=True)
 class Outcome:
-    """One completed round-trip during replay."""
+    """One completed round-trip during replay.
+
+    ``doc`` is the decoded response body when the replay ran with
+    ``capture_docs=True`` (the chaos replays need it for bit-for-bit
+    verification of every 200), else ``None``.
+    """
 
     kind: str
     status: int
     latency_s: float
+    doc: object = field(default=None, hash=False, compare=False)
 
 
 def generate_trace(
@@ -101,22 +107,28 @@ def replay(
     *,
     max_clients: int = 8,
     timeout: float = 120.0,
+    capture_docs: bool = False,
 ) -> tuple[list, float]:
     """Fire ``trace`` at a live server; returns (outcomes, wall_s).
 
     The submitting thread paces arrivals against the trace clock; a
     client pool carries the concurrent in-flight requests, so a burst
     genuinely overlaps on the wire.  Outcomes keep trace order.
+    ``capture_docs`` retains each decoded response body on its
+    :class:`Outcome` for correctness verification.
     """
     results: list = [None] * len(trace)
 
     def fire(index: int, request: TraceRequest) -> None:
         start = time.perf_counter()
-        status, _doc = handle.request(
+        status, doc = handle.request(
             "POST", "/query", request.payload, timeout=timeout
         )
         results[index] = Outcome(
-            request.kind, status, time.perf_counter() - start
+            request.kind,
+            status,
+            time.perf_counter() - start,
+            doc if capture_docs else None,
         )
 
     started = time.perf_counter()
@@ -130,6 +142,79 @@ def replay(
         for future in futures:
             future.result()  # re-raise client-side failures
     return results, time.perf_counter() - started
+
+
+def canonical_params(payload: dict) -> tuple:
+    """The subset of a trace payload that determines the query result.
+
+    Routing and scheduling fields (graph/kind/priority/timeout) change
+    *where and when* a request runs, never *what* it computes, so they
+    are dropped; what remains (``k``, ``measure``, ``top_k``, ...) keys
+    the ground-truth table of :func:`direct_references`.
+    """
+    drop = {"graph", "kind", "priority", "timeout_s"}
+    return tuple(
+        sorted((k, v) for k, v in payload.items() if k not in drop)
+    )
+
+
+def direct_references(trace, *, workers: int = 1) -> dict:
+    """Ground-truth result per unique (graph, kind, params) in ``trace``.
+
+    Computed on a private registry through the same
+    :func:`~repro.serve.registry.execute_query` path a healthy server
+    uses — but with no server, no queue, and no fault plan in between —
+    with the ``_counters`` side channel stripped.  Every 200 a replay
+    collects (degraded ones included: the stale cache holds a previous
+    good answer, and graphs are immutable) must match its entry
+    bit-for-bit.
+    """
+    from repro.serve import GraphRegistry
+    from repro.serve.registry import execute_query
+
+    references: dict = {}
+    registry = GraphRegistry(workers=workers)
+    try:
+        for request in trace:
+            if request.graph not in registry.names():
+                registry.register_spec(request.graph)
+            params = canonical_params(request.payload)
+            key = (request.graph, request.kind, params)
+            if key not in references:
+                payload = execute_query(
+                    registry.entry(request.graph),
+                    request.kind,
+                    dict(params),
+                )
+                payload.pop("_counters", None)
+                references[key] = payload
+        return references
+    finally:
+        registry.close()
+
+
+def verify_200s(trace, outcomes, references) -> tuple[int, int]:
+    """Bit-for-bit check of every 200 against ``references``.
+
+    Returns ``(verified, degraded)`` counts; raises ``AssertionError``
+    naming the first mismatching request otherwise.  Degraded 200s are
+    held to the *same* equality bar — the serving contract is that
+    degradation changes freshness bookkeeping, never answers.
+    """
+    verified = degraded = 0
+    for index, (request, outcome) in enumerate(zip(trace, outcomes)):
+        if outcome.status != 200:
+            continue
+        key = (request.graph, request.kind, canonical_params(request.payload))
+        doc = outcome.doc
+        assert doc is not None, "replay ran without capture_docs=True"
+        assert doc["result"] == references[key], (
+            f"request {index} ({request.kind} on {request.graph}): "
+            f"served 200 differs from direct API result"
+        )
+        verified += 1
+        degraded += bool(doc.get("degraded"))
+    return verified, degraded
 
 
 def _percentile(sorted_values, p: float) -> float:

@@ -447,10 +447,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """Run the serving layer until Ctrl-C (or ``--max-requests``)."""
-    from repro.serve import GraphRegistry, ServeConfig, run_server
+    """Run the serving layer until Ctrl-C/SIGTERM (or ``--max-requests``)."""
+    from repro.serve import (
+        GraphRegistry,
+        ServeConfig,
+        SupervisionConfig,
+        run_server,
+    )
 
     workers = _validated_workers(args)
+    fault_plan = None
+    if args.chaos_seed is not None:
+        # Serve-level chaos (harness runs): a seeded, reproducible
+        # fault plan over every hosted graph.
+        from repro.harness.faults import ServeFaultPlan
+
+        names = [spec.partition("=")[0].strip() for spec in args.graph]
+        fault_plan = ServeFaultPlan.seeded(
+            args.chaos_seed,
+            names,
+            rate=args.chaos_rate,
+            kinds=tuple(args.chaos_kinds.split(",")),
+            hang_seconds=args.chaos_hang_s,
+        )
     registry = GraphRegistry(
         workers=workers,
         data_plane=args.data_plane,
@@ -470,6 +489,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             batch_max=args.batch_max,
             default_timeout_s=args.request_timeout,
             max_requests=args.max_requests,
+            supervision=SupervisionConfig(
+                query_deadline_s=args.query_deadline,
+                max_session_rebuilds=args.max_session_rebuilds,
+                breaker_threshold=args.breaker_threshold,
+                breaker_cooldown_s=args.breaker_cooldown,
+                degraded_cache=not args.no_degraded_cache,
+            ),
         )
 
         def announce(server):
@@ -480,7 +506,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 flush=True,
             )
 
-        return run_server(registry, config, announce=announce)
+        return run_server(
+            registry, config, announce=announce, fault_plan=fault_plan
+        )
     finally:
         registry.close()
 
@@ -717,6 +745,88 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="serve N queries then exit cleanly (smoke tests)",
+    )
+    # -- self-healing policy (PR 9) -----------------------------------
+    p_srv.add_argument(
+        "--query-deadline",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help=(
+            "per-query engine watchdog deadline: a query running "
+            "longer is abandoned and the session rebuilt (default: 60)"
+        ),
+    )
+    p_srv.add_argument(
+        "--max-session-rebuilds",
+        type=int,
+        default=8,
+        metavar="N",
+        help=(
+            "lifetime session-rebuild budget per graph; once spent the "
+            "graph's breaker pins open — stuck-open, operator action "
+            "(default: 8)"
+        ),
+    )
+    p_srv.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        metavar="N",
+        help=(
+            "consecutive engine failures on one graph that open its "
+            "circuit breaker (default: 3)"
+        ),
+    )
+    p_srv.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help=(
+            "seconds an open breaker waits before admitting a "
+            "half-open probe query (default: 1)"
+        ),
+    )
+    p_srv.add_argument(
+        "--no-degraded-cache",
+        action="store_true",
+        help=(
+            "disable degraded serving: an open breaker answers 503 "
+            "for every kind instead of serving the cached last-known-"
+            "good skyline marked degraded"
+        ),
+    )
+    # -- chaos harness (fault injection into the live server) ----------
+    p_srv.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help=(
+            "inject a seeded ServeFaultPlan into the engine thread "
+            "(harness runs only; default: no faults)"
+        ),
+    )
+    p_srv.add_argument(
+        "--chaos-rate",
+        type=float,
+        default=0.15,
+        metavar="P",
+        help="per-dispatch fault probability under --chaos-seed",
+    )
+    p_srv.add_argument(
+        "--chaos-kinds",
+        default="engine-exception,session-poison,slow,shm-attach-failure",
+        metavar="K1,K2,...",
+        help="comma-separated serve fault kinds under --chaos-seed",
+    )
+    p_srv.add_argument(
+        "--chaos-hang-s",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="injected hang duration when 'hang' is among --chaos-kinds",
     )
     _add_workers_argument(p_srv)
 

@@ -146,6 +146,12 @@ def serve(
     batch_max: int = 8,
     request_timeout_s: Optional[float] = 30.0,
     max_requests: Optional[int] = None,
+    query_deadline_s: Optional[float] = 60.0,
+    max_session_rebuilds: int = 8,
+    breaker_threshold: int = 3,
+    breaker_cooldown_s: float = 1.0,
+    degraded_cache: bool = True,
+    fault_plan=None,
 ) -> int:
     """Skyline-as-a-service in one call (blocking).
 
@@ -153,12 +159,24 @@ def serve(
     (``"karate"``) or ``alias=path`` for an edge-list file.  Each graph
     gets one warm :func:`engine_session`; ``skyline`` / ``group`` /
     ``clique`` queries are served over HTTP through a bounded priority
-    queue with per-request deadlines and 429 backpressure.  See
-    :mod:`repro.serve` and ``docs/serving.md``; the CLI equivalent is
-    ``repro serve``.  Returns the process exit code.  Imported lazily —
-    the serving layer pulls in the parallel stack.
+    queue with per-request deadlines and 429 backpressure.  The server
+    is self-healing: a per-query watchdog (``query_deadline_s``) and
+    per-graph circuit breakers (``breaker_threshold`` /
+    ``breaker_cooldown_s``) rebuild failed warm sessions (up to
+    ``max_session_rebuilds`` per graph) and degrade one broken graph —
+    cached skyline marked ``degraded: true`` when ``degraded_cache`` —
+    without touching the others.  ``fault_plan`` injects a
+    :class:`~repro.harness.faults.ServeFaultPlan` for chaos harness
+    runs.  See :mod:`repro.serve` and ``docs/serving.md``; the CLI
+    equivalent is ``repro serve``.  Returns the process exit code.
+    Imported lazily — the serving layer pulls in the parallel stack.
     """
-    from repro.serve import GraphRegistry, ServeConfig, run_server
+    from repro.serve import (
+        GraphRegistry,
+        ServeConfig,
+        SupervisionConfig,
+        run_server,
+    )
 
     registry = GraphRegistry(
         workers=workers, data_plane=data_plane, timeout=timeout
@@ -175,8 +193,15 @@ def serve(
             batch_max=batch_max,
             default_timeout_s=request_timeout_s,
             max_requests=max_requests,
+            supervision=SupervisionConfig(
+                query_deadline_s=query_deadline_s,
+                max_session_rebuilds=max_session_rebuilds,
+                breaker_threshold=breaker_threshold,
+                breaker_cooldown_s=breaker_cooldown_s,
+                degraded_cache=degraded_cache,
+            ),
         )
-        return run_server(registry, config)
+        return run_server(registry, config, fault_plan=fault_plan)
     finally:
         registry.close()
 

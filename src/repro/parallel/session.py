@@ -199,19 +199,31 @@ class EngineSession:
             )
 
     def graph_refs(self) -> dict:
-        """Publish the graph CSR once; return its segment refs."""
+        """Publish the graph CSR once; return its segment refs.
+
+        Publication is atomic: either both segments are published and
+        the refs recorded, or — on a mid-publish failure — the partial
+        segment is unlinked before the exception propagates, so a
+        rebuild loop retrying a failed session never accumulates
+        orphaned ``/dev/shm`` segments.
+        """
         self.check_open()
         self._require_shm()
         if self._graph_refs is None:
             indptr, indices = self.graph.to_csr()  # memoized on the graph
-            self._graph_refs = {
-                "indptr": self._plane.publish(
+            refs: dict[str, SegmentRef] = {}
+            try:
+                refs["indptr"] = self._plane.publish(
                     indptr, buffer_typecode(indptr)
-                ),
-                "indices": self._plane.publish(
+                )
+                refs["indices"] = self._plane.publish(
                     indices, buffer_typecode(indices)
-                ),
-            }
+                )
+            except BaseException:
+                for ref in refs.values():
+                    self._plane.unlink_one(ref)
+                raise
+            self._graph_refs = refs
         return self._graph_refs
 
     def supervisor(self) -> PoolSupervisor:

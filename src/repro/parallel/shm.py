@@ -256,8 +256,15 @@ class ShmDataPlane:
                 )
             except FileExistsError:
                 continue
-        if nbytes:
-            shm.buf[:nbytes] = mv
+        try:
+            if nbytes:
+                shm.buf[:nbytes] = mv
+        except BaseException:
+            # The segment exists but was never registered with the
+            # plane; unlink it here or nothing ever will — a failed
+            # copy must not strand /dev/shm residue.
+            _cleanup_segments({shm.name: shm})
+            raise
         self._segments[shm.name] = shm
         _REGISTRY[shm.name] = shm
         return SegmentRef(shm.name, nbytes, typecode)

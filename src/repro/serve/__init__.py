@@ -21,6 +21,7 @@ from repro.serve.registry import (
     GraphEntry,
     GraphRegistry,
     execute_query,
+    load_spec_graph,
     parse_graph_spec,
 )
 from repro.serve.server import (
@@ -29,12 +30,23 @@ from repro.serve.server import (
     SkylineServer,
     run_server,
 )
+from repro.serve.supervision import (
+    BREAKER_STATES,
+    CircuitBreaker,
+    EngineSupervisor,
+    Heartbeat,
+    SupervisionConfig,
+)
 
 __all__ = [
+    "BREAKER_STATES",
     "BoundedRequestQueue",
+    "CircuitBreaker",
     "DEFAULT_PRIORITY",
+    "EngineSupervisor",
     "GraphEntry",
     "GraphRegistry",
+    "Heartbeat",
     "HttpError",
     "HttpRequest",
     "LatencyHistogram",
@@ -45,7 +57,9 @@ __all__ = [
     "ServerMetrics",
     "ServerThread",
     "SkylineServer",
+    "SupervisionConfig",
     "execute_query",
+    "load_spec_graph",
     "parse_graph_spec",
     "run_server",
 ]

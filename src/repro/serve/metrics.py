@@ -98,11 +98,42 @@ class ServerMetrics:
         self.session_calls: Counter = Counter()  # "cold"/"warm" -> n
         self.batches_total = 0
         self.batched_requests_total = 0
+        # -- supervision / self-healing (PR 9) -------------------------
+        self.engine_failures: Counter = Counter()  # (graph, kind) -> n
+        self.rebuilds: Counter = Counter()  # graph -> sessions rebuilt
+        self.breaker_transitions: Counter = Counter()  # (graph, old->new)
+        self.degraded: Counter = Counter()  # (graph, kind) -> n
+        self.injected_faults: Counter = Counter()  # (graph, kind) -> n
+        self.abandoned_queries_total = 0  # hangs reclaimed by watchdog
 
     # -- recording -----------------------------------------------------
     def record_request(self, kind: str, status: int) -> None:
         """Count one completed request under its kind and HTTP status."""
         self.requests_total[(kind, status)] += 1
+
+    def record_engine_failure(self, graph: str, kind: str) -> None:
+        """Count one supervised engine failure by graph and failure kind."""
+        self.engine_failures[(graph, kind)] += 1
+
+    def record_rebuild(self, graph: str) -> None:
+        """Count one session teardown-and-rebuild for ``graph``."""
+        self.rebuilds[graph] += 1
+
+    def record_breaker_transition(self, graph: str, old: str, new: str) -> None:
+        """Count one circuit-breaker state transition for ``graph``."""
+        self.breaker_transitions[(graph, f"{old}->{new}")] += 1
+
+    def record_degraded(self, graph: str, kind: str) -> None:
+        """Count one query answered from the degraded path (open breaker)."""
+        self.degraded[(graph, kind)] += 1
+
+    def record_injected_fault(self, graph: str, kind: str) -> None:
+        """Count one chaos-plan fault performed on the engine thread."""
+        self.injected_faults[(graph, kind)] += 1
+
+    def record_abandoned_query(self) -> None:
+        """Count one hung query abandoned by the per-query watchdog."""
+        self.abandoned_queries_total += 1
 
     def record_batch(self, size: int) -> None:
         """Count one worker dispatch cycle of ``size`` requests."""
@@ -150,5 +181,31 @@ class ServerMetrics:
                 "counters": dict(sorted(self.engine_counters.items())),
                 "extra": dict(sorted(self.engine_extra.items())),
                 "session_calls": dict(sorted(self.session_calls.items())),
+            },
+            "supervision": {
+                "engine_failures": {
+                    f"{graph}:{kind}": n
+                    for (graph, kind), n in sorted(
+                        self.engine_failures.items()
+                    )
+                },
+                "rebuilds": dict(sorted(self.rebuilds.items())),
+                "breaker_transitions": {
+                    f"{graph}:{edge}": n
+                    for (graph, edge), n in sorted(
+                        self.breaker_transitions.items()
+                    )
+                },
+                "degraded": {
+                    f"{graph}:{kind}": n
+                    for (graph, kind), n in sorted(self.degraded.items())
+                },
+                "injected_faults": {
+                    f"{graph}:{kind}": n
+                    for (graph, kind), n in sorted(
+                        self.injected_faults.items()
+                    )
+                },
+                "abandoned_queries_total": self.abandoned_queries_total,
             },
         }

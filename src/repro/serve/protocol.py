@@ -49,6 +49,7 @@ STATUS_REASONS: dict[int, str] = {
     404: "Not Found",
     405: "Method Not Allowed",
     408: "Request Timeout",
+    409: "Conflict",
     411: "Length Required",
     413: "Payload Too Large",
     429: "Too Many Requests",

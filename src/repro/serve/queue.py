@@ -135,6 +135,17 @@ class BoundedRequestQueue:
         """Live requests currently pending (the bounded quantity)."""
         return len(self._live)
 
+    def pending_by_graph(self) -> dict[str, int]:
+        """Live request count per graph (the /health queue breakdown).
+
+        Lets an operator see whether a backlog is pinned to one
+        degraded graph or spread across the fleet.
+        """
+        counts: dict[str, int] = {}
+        for request in self._live.values():
+            counts[request.graph] = counts.get(request.graph, 0) + 1
+        return dict(sorted(counts.items()))
+
     def counters(self) -> dict[str, int]:
         """Lifetime admission/dispatch/rejection/expiry totals + depth."""
         return {

@@ -29,7 +29,7 @@ from typing import Optional
 
 from repro.core.counters import SkylineCounters
 from repro.core.result import SkylineResult
-from repro.errors import ParameterError, ReproError
+from repro.errors import GraphFormatError, ParameterError, ReproError
 from repro.graph.adjacency import Graph
 from repro.graph.io import load_graph
 from repro.parallel.session import EngineSession
@@ -39,6 +39,7 @@ __all__ = [
     "GraphRegistry",
     "QUERY_KINDS",
     "execute_query",
+    "load_spec_graph",
     "parse_graph_spec",
 ]
 
@@ -64,6 +65,33 @@ def parse_graph_spec(spec: str) -> tuple[str, str, str]:
     return name, "dataset", name
 
 
+def load_spec_graph(name: str, kind: str, source: str) -> Graph:
+    """Load the graph a parsed spec names, with *diagnosable* failures.
+
+    A corrupt ``.rsky`` snapshot, a truncated/malformed edge list, or a
+    missing file must surface as one clear :class:`ParameterError` line
+    (the CLI prints ``error: ...`` and exits 2; the HTTP reload path
+    returns 400) — never a traceback that kills server startup.
+    """
+    if kind == "dataset":
+        from repro.workloads import load
+
+        return load(source)
+    try:
+        # Sniffing loader: binary snapshots open O(1) via memmap, text
+        # parses as an edge list — the spec syntax doesn't change.
+        return load_graph(source)
+    except GraphFormatError as exc:
+        raise ParameterError(
+            f"cannot load graph {name!r} from {source!r}: {exc}"
+        ) from exc
+    except (OSError, ValueError, UnicodeDecodeError) as exc:
+        raise ParameterError(
+            f"cannot load graph {name!r} from {source!r}: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+
+
 @dataclass
 class GraphEntry:
     """One hosted graph: data + warm session + cached skyline."""
@@ -76,6 +104,13 @@ class GraphEntry:
     timeout: Optional[float] = None
     _session: Optional[EngineSession] = field(default=None, repr=False)
     _skyline: Optional[SkylineResult] = field(default=None, repr=False)
+    #: The graph's circuit breaker, attached lazily by the serving
+    #: supervisor (:mod:`repro.serve.supervision`); ``None`` outside a
+    #: supervised server.
+    breaker: Optional[object] = field(default=None, repr=False)
+    #: Sessions torn down and rebuilt by the supervisor for this graph.
+    rebuilds_total: int = 0
+    _last_good_skyline: Optional[dict] = field(default=None, repr=False)
 
     @property
     def session(self) -> EngineSession:
@@ -103,6 +138,23 @@ class GraphEntry:
             self._skyline = self.session.refine_sky(counters=counters)
         return self._skyline
 
+    def note_good_skyline(self, payload: dict) -> None:
+        """Remember the last successful skyline response (degraded path).
+
+        The graph is immutable, so a past 200 is exactly what a healthy
+        engine would answer now; while this graph's breaker is open the
+        supervisor may serve this copy, marked ``degraded: true``.
+        """
+        self._last_good_skyline = {
+            key: value for key, value in payload.items() if key != "_counters"
+        }
+
+    def degraded_skyline_payload(self) -> Optional[dict]:
+        """A copy of the last-known-good skyline payload, or ``None``."""
+        if self._last_good_skyline is None:
+            return None
+        return dict(self._last_good_skyline)
+
     def describe(self) -> dict:
         """The /graphs row: name, source, sizes, session/cache state."""
         return {
@@ -118,13 +170,21 @@ class GraphEntry:
                 else "warm"
             ),
             "skyline_cached": self._skyline is not None,
+            "rebuilds": self.rebuilds_total,
         }
 
-    def close(self) -> None:
-        """Tear down the warm session (idempotent; registry close path)."""
+    def close_session(self) -> None:
+        """Tear down the warm session only (idempotent; unlinks all
+        shared-memory segments).  The skyline cache survives — the
+        graph is immutable, so a rebuilt session recomputes the same
+        values and the degraded path may keep serving the old copy."""
         if self._session is not None:
             self._session.close()
             self._session = None
+
+    def close(self) -> None:
+        """Tear down the warm session (idempotent; registry close path)."""
+        self.close_session()
 
 
 class GraphRegistry:
@@ -189,15 +249,8 @@ class GraphRegistry:
         """Register from a ``--graph`` spec string (see
         :func:`parse_graph_spec`)."""
         name, kind, source = parse_graph_spec(spec)
-        if kind == "dataset":
-            from repro.workloads import load
-
-            graph = load(source)
-            return self.register(name, graph, source=f"dataset:{source}")
-        # Sniffing loader: binary snapshots open O(1) via memmap, text
-        # parses as an edge list — the spec syntax doesn't change.
-        graph = load_graph(source)
-        return self.register(name, graph, source=f"edge_list:{source}")
+        graph = load_spec_graph(name, kind, source)
+        return self.register(name, graph, source=f"{kind}:{source}")
 
     def entry(self, name: str) -> GraphEntry:
         """The entry for ``name``; ParameterError when unregistered."""

@@ -15,33 +15,42 @@ Architecture (one process, one event loop, one engine thread)::
 * The **queue** is the only place requests wait: bounded (full ⇒ 429),
   priority-ordered, deadline-aware (expired ⇒ 504, never dispatched).
 * The **worker coroutine** pops same-graph batches and hands each
-  request to a single dedicated engine thread
-  (``ThreadPoolExecutor(max_workers=1)``): engine sessions are
-  single-caller objects, so all graph work serializes on that thread
-  while the loop stays responsive.  Per-request deadlines bound the
-  *queue wait*; once dispatched, a request runs to completion under the
-  engine's own :class:`~repro.parallel.supervisor.PoolSupervisor`
-  deadline machinery (the ``timeout`` every session is built with).
+  request to the supervised engine thread
+  (:class:`~repro.serve.supervision.EngineSupervisor`): engine sessions
+  are single-caller objects, so all graph work serializes on that
+  thread while the loop stays responsive.  Per-request deadlines bound
+  the *queue wait*; once dispatched, a request runs under the
+  supervisor's per-query watchdog deadline on top of the engine's own
+  :class:`~repro.parallel.supervisor.PoolSupervisor` machinery.  An
+  engine failure never kills the server: the supervisor rebuilds the
+  graph's warm session (full segment hygiene), retries with seeded
+  backoff, and — once a graph's circuit breaker opens — degrades that
+  one graph (cached skyline marked ``degraded: true``, 503 +
+  ``Retry-After`` otherwise) while every other graph serves at full
+  fidelity.
 
 Results travel through futures as plain ``("ok", payload)`` /
-``("error", status, detail)`` tuples — no exceptions are parked in
-futures, so abandoned requests never log retrieval warnings.
+``("degraded", payload)`` / ``("error", status, detail[, headers])``
+tuples — no exceptions are parked in futures, so abandoned requests
+never log retrieval warnings.
 
 Endpoints: ``POST /query`` (JSON: ``graph``, ``kind``, per-kind params,
 ``priority``, ``timeout_s``), ``GET /health``, ``GET /metrics``,
-``GET /graphs``.
+``GET /graphs``, ``POST /graphs`` (live registration:
+``{"spec": "alias=path"}``).
 """
 
 from __future__ import annotations
 
 import asyncio
+import signal
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import ParameterError, ReproError
+from repro.harness.faults import ServeFaultPlan
 from repro.serve.metrics import ServerMetrics
 from repro.serve.protocol import (
     HttpError,
@@ -55,7 +64,13 @@ from repro.serve.queue import (
     QueuedRequest,
     QueueFullError,
 )
-from repro.serve.registry import QUERY_KINDS, GraphRegistry, execute_query
+from repro.serve.registry import (
+    QUERY_KINDS,
+    GraphRegistry,
+    load_spec_graph,
+    parse_graph_spec,
+)
+from repro.serve.supervision import EngineSupervisor, SupervisionConfig
 
 __all__ = ["ServeConfig", "SkylineServer", "ServerThread", "run_server"]
 
@@ -74,9 +89,13 @@ class ServeConfig:
     #: Serve at most this many ``/query`` requests, then shut down
     #: (``None`` = forever).  Smoke tests and the CLI's --max-requests.
     max_requests: Optional[int] = None
+    #: Self-healing policy: watchdog deadline, retry budget, session
+    #: rebuild budget, circuit-breaker thresholds, degraded cache.
+    supervision: SupervisionConfig = field(default_factory=SupervisionConfig)
 
     def validate(self) -> None:
         """Reject out-of-range knobs with ParameterError (fail fast)."""
+        self.supervision.validate()
         if self.queue_capacity < 1:
             raise ParameterError(
                 f"queue_capacity must be >= 1, got {self.queue_capacity}"
@@ -99,11 +118,20 @@ class ServeConfig:
 class SkylineServer:
     """One serving process: registry + queue + worker + HTTP front."""
 
-    def __init__(self, registry: GraphRegistry, config: ServeConfig):
+    def __init__(
+        self,
+        registry: GraphRegistry,
+        config: ServeConfig,
+        *,
+        fault_plan: Optional[ServeFaultPlan] = None,
+    ):
         config.validate()
         self.registry = registry
         self.config = config
         self.metrics = ServerMetrics()
+        self.supervision = EngineSupervisor(
+            config.supervision, self.metrics, fault_plan=fault_plan
+        )
         self.queue = BoundedRequestQueue(
             config.queue_capacity,
             on_expire=self._on_expire,
@@ -112,7 +140,6 @@ class SkylineServer:
         self.port: Optional[int] = None  # bound port, set by start()
         self._server: Optional[asyncio.AbstractServer] = None
         self._worker_task: Optional[asyncio.Task] = None
-        self._executor: Optional[ThreadPoolExecutor] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._wake = asyncio.Event()
         #: Test hook: clearing this gate pauses dispatch (requests pile
@@ -128,11 +155,9 @@ class SkylineServer:
 
     # -- lifecycle -----------------------------------------------------
     async def start(self) -> None:
-        """Bind the socket, start the engine executor and the worker."""
+        """Bind the socket and start the worker (the supervisor already
+        owns the engine thread)."""
         self._loop = asyncio.get_running_loop()
-        self._executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-serve-engine"
-        )
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
@@ -166,10 +191,9 @@ class SkylineServer:
             await self._worker_task
         for request in self.queue.drain():
             self._finish(request, ("error", 503, "server shutting down"))
-        if self._executor is not None:
-            # One final hop through the (now idle) engine thread, then a
-            # blocking-but-instant shutdown.
-            self._executor.shutdown(wait=True)
+        # Drain the supervised engine thread (idle by now), then tear
+        # every session down exactly once.
+        self.supervision.close()
         self.registry.close()
         self._closed.set()
 
@@ -197,7 +221,6 @@ class SkylineServer:
 
     # -- worker --------------------------------------------------------
     async def _worker(self) -> None:
-        loop = self._loop
         while True:
             await self.dispatch_gate.wait()
             batch = self.queue.pop_batch(self.config.batch_max)
@@ -220,37 +243,31 @@ class SkylineServer:
                 if future.done():  # client connection died and cancelled
                     continue
                 started = time.monotonic()
-                try:
-                    result = await loop.run_in_executor(
-                        self._executor,
-                        execute_query,
-                        entry,
-                        request.kind,
-                        request.payload["params"],
-                    )
-                except ParameterError as exc:
-                    self.metrics.record_request(request.kind, 400)
-                    self._finish(request, ("error", 400, str(exc)))
-                except ReproError as exc:
-                    self.metrics.record_request(request.kind, 500)
-                    self._finish(request, ("error", 500, str(exc)))
-                except Exception as exc:  # engine bug: fail the request,
-                    # keep serving — one poisoned query must not take
-                    # the process down.
-                    self.metrics.record_request(request.kind, 500)
-                    self._finish(
-                        request,
-                        ("error", 500, f"{type(exc).__name__}: {exc}"),
-                    )
-                else:
+                # All failure classification (client error vs engine
+                # failure vs degraded) lives in the supervisor; this
+                # loop only routes outcome tuples.  One poisoned query
+                # must never take the process down.
+                outcome = await self.supervision.execute(
+                    entry,
+                    request.kind,
+                    request.payload["params"],
+                    closing=lambda: self._closing,
+                )
+                if outcome[0] == "ok":
                     self.metrics.service_time.observe(
                         time.monotonic() - started
                     )
                     self.metrics.absorb_engine_counters(
-                        result.pop("_counters", None)
+                        outcome[1].pop("_counters", None)
                     )
                     self.metrics.record_request(request.kind, 200)
-                    self._finish(request, ("ok", result))
+                elif outcome[0] == "degraded":
+                    # A 200 with the degraded marker: stale-but-correct
+                    # cached skyline while the breaker is open.
+                    self.metrics.record_request(request.kind, 200)
+                else:
+                    self.metrics.record_request(request.kind, outcome[1])
+                self._finish(request, outcome)
                 self._served_queries += 1
                 limit = self.config.max_requests
                 if limit is not None and self._served_queries >= limit:
@@ -298,9 +315,15 @@ class SkylineServer:
                 200, self.metrics.as_dict(queue_counters=self.queue.counters())
             )
         if path == "/graphs":
-            if method != "GET":
-                return json_response(405, {"error": "use GET /graphs"})
-            return json_response(200, {"graphs": self.registry.describe()})
+            if method == "GET":
+                return json_response(
+                    200, {"graphs": self.registry.describe()}
+                )
+            if method == "POST":
+                return await self._handle_register(request)
+            return json_response(
+                405, {"error": "use GET /graphs or POST /graphs"}
+            )
         if path == "/query":
             if method != "POST":
                 return json_response(405, {"error": "use POST /query"})
@@ -314,13 +337,62 @@ class SkylineServer:
         )
 
     def health(self) -> dict:
-        """The /health body: status, graph names, queue counters."""
-        return {
+        """The /health body: status, graphs, queue, engine + breakers."""
+        doc = {
             "status": "closing" if self._closing else "ok",
             "graphs": list(self.registry.names()),
             "queue": self.queue.counters(),
+            "queue_by_graph": self.queue.pending_by_graph(),
             "served_queries": self._served_queries,
         }
+        doc.update(self.supervision.health(self.registry))
+        return doc
+
+    async def _handle_register(self, request: HttpRequest) -> bytes:
+        """``POST /graphs``: register one graph spec on the live server.
+
+        Body: ``{"spec": "name"}`` (dataset) or ``{"spec":
+        "alias=path"}`` (edge list / ``.rsky`` snapshot).  A corrupt or
+        unreadable source is a 400 with one clear line — registration
+        failures must never wedge or kill a serving process.
+        """
+        try:
+            payload = request.json_body()
+        except HttpError as exc:
+            return json_response(exc.status, {"error": exc.detail})
+        if self._closing:
+            return json_response(
+                503,
+                {"error": "server shutting down"},
+                extra_headers={"Retry-After": "1"},
+            )
+        spec = payload.get("spec")
+        if not isinstance(spec, str) or not spec:
+            return json_response(
+                400, {"error": "'spec' must be a non-empty string"}
+            )
+        name = None
+        try:
+            name, kind, source = parse_graph_spec(spec)
+            if name in self.registry.names():
+                return json_response(
+                    409,
+                    {"error": f"graph {name!r} is already registered"},
+                )
+            # Parsing/mmap of a large graph off the event loop; the
+            # engine thread stays free for queries meanwhile.
+            graph = await self._loop.run_in_executor(
+                None, load_spec_graph, name, kind, source
+            )
+            entry = self.registry.register(
+                name, graph, source=f"{kind}:{source}"
+            )
+        except ParameterError as exc:
+            status = 409 if name in self.registry.names() else 400
+            return json_response(status, {"error": str(exc)})
+        except ReproError as exc:
+            return json_response(400, {"error": str(exc)})
+        return json_response(200, {"registered": entry.describe()})
 
     async def _handle_query(self, request: HttpRequest) -> bytes:
         try:
@@ -362,17 +434,24 @@ class SkylineServer:
             # long engine call and never pops.
             self._loop.call_later(timeout_s, self.queue.purge_expired)
         outcome = await future
-        if outcome[0] == "ok":
-            return json_response(
-                200,
-                {
-                    "graph": spec["graph"],
-                    "kind": spec["kind"],
-                    "result": outcome[1],
-                },
-            )
-        _, status, detail = outcome
-        return json_response(status, {"error": detail})
+        if outcome[0] in ("ok", "degraded"):
+            body = {
+                "graph": spec["graph"],
+                "kind": spec["kind"],
+                "result": outcome[1],
+            }
+            if outcome[0] == "degraded":
+                # Stale-but-correct cached answer: the marker is the
+                # contract — a degraded 200 is never silently normal.
+                body["degraded"] = True
+            return json_response(200, body)
+        _, status, detail, *rest = outcome
+        headers = dict(rest[0]) if rest else {}
+        if status == 503:
+            headers.setdefault("Retry-After", "1")
+        return json_response(
+            status, {"error": detail}, extra_headers=headers or None
+        )
 
     def _parse_query(self, request: HttpRequest) -> dict:
         payload = request.json_body()
@@ -430,34 +509,62 @@ async def _serve(
     *,
     announce=None,
     stop_event: Optional[asyncio.Event] = None,
+    fault_plan: Optional[ServeFaultPlan] = None,
 ) -> SkylineServer:
-    server = SkylineServer(registry, config)
+    server = SkylineServer(registry, config, fault_plan=fault_plan)
     await server.start()
     if announce is not None:
         announce(server)
+    loop = asyncio.get_running_loop()
+    sigterm = asyncio.Event()
     try:
-        waiters = [asyncio.create_task(server._limit_reached.wait())]
+        # Graceful SIGTERM: stop admitting, drain queued work with 503,
+        # tear sessions/segments down, exit 0.  Signal handlers only
+        # install on a main-thread loop; ServerThread harnesses use
+        # their stop_event instead.
+        loop.add_signal_handler(signal.SIGTERM, sigterm.set)
+        sigterm_installed = True
+    except (NotImplementedError, RuntimeError, ValueError):
+        sigterm_installed = False
+    try:
+        waiters = [
+            asyncio.create_task(server._limit_reached.wait()),
+            asyncio.create_task(sigterm.wait()),
+        ]
         if stop_event is not None:
             waiters.append(asyncio.create_task(stop_event.wait()))
-        # With neither a stop event nor a request limit this waits
+        # With neither a stop source nor a request limit this waits
         # forever; Ctrl-C unwinds through the finally.
         await asyncio.wait(waiters, return_when=asyncio.FIRST_COMPLETED)
         for waiter in waiters:
             waiter.cancel()
     finally:
+        if sigterm_installed:
+            loop.remove_signal_handler(signal.SIGTERM)
         await server.close()
     return server
 
 
-def run_server(registry: GraphRegistry, config: ServeConfig, *, announce=None) -> int:
+def run_server(
+    registry: GraphRegistry,
+    config: ServeConfig,
+    *,
+    announce=None,
+    fault_plan: Optional[ServeFaultPlan] = None,
+) -> int:
     """Blocking entry point (the CLI's ``repro serve``).
 
-    Serves until Ctrl-C or ``config.max_requests`` queries; returns the
-    conventional exit code (0 normal, 130 on interrupt).  Sessions and
-    segments are torn down on every path.
+    Serves until Ctrl-C, SIGTERM or ``config.max_requests`` queries;
+    returns the conventional exit code (0 normal — including SIGTERM,
+    which drains gracefully — and 130 on interrupt).  Sessions and
+    segments are torn down on every path.  ``fault_plan`` injects
+    serve-level chaos (:class:`~repro.harness.faults.ServeFaultPlan`)
+    for harness runs.
     """
     try:
-        asyncio.run(_serve(registry, config, announce=announce))
+        asyncio.run(
+            _serve(registry, config, announce=announce, fault_plan=fault_plan)
+        )
     except KeyboardInterrupt:
         registry.close()  # idempotent; asyncio.run already unwound close()
         return 130
@@ -476,9 +583,16 @@ class ServerThread:
     ``stop()`` requests a clean in-loop shutdown and joins the thread.
     """
 
-    def __init__(self, registry: GraphRegistry, config: ServeConfig):
+    def __init__(
+        self,
+        registry: GraphRegistry,
+        config: ServeConfig,
+        *,
+        fault_plan: Optional[ServeFaultPlan] = None,
+    ):
         self.registry = registry
         self.config = config
+        self.fault_plan = fault_plan
         self.server: Optional[SkylineServer] = None
         self._ready = threading.Event()
         self._stop_event: Optional[asyncio.Event] = None
@@ -506,6 +620,7 @@ class ServerThread:
                 self.config,
                 announce=announce,
                 stop_event=self._stop_event,
+                fault_plan=self.fault_plan,
             )
 
         try:

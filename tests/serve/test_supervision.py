@@ -1,0 +1,395 @@
+"""Unit tests for the self-healing layer (:mod:`repro.serve.supervision`).
+
+Three surfaces:
+
+* :class:`CircuitBreaker` as a pure state machine over an injected
+  clock — transitions, single-probe accounting, pinning, counters (the
+  Hypothesis model-based sweep lives in ``test_breaker_stateful.py``);
+* :class:`Heartbeat` — the /health stall verdict;
+* :class:`EngineSupervisor` end-to-end against a *real*
+  :class:`GraphEntry` with deterministic injected faults: transient
+  faults heal (retry → bit-for-bit result + rebuilt session),
+  persistent faults open the breaker (degraded cached skyline for
+  ``skyline``, 503 + ``Retry-After`` for uncacheable kinds), hangs are
+  abandoned by the watchdog, client errors never charge the breaker,
+  and an exhausted rebuild budget pins the breaker open.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.harness.faults import ServeFaultPlan
+from repro.serve.metrics import ServerMetrics
+from repro.serve.registry import GraphRegistry, execute_query
+from repro.serve.supervision import (
+    CircuitBreaker,
+    EngineSupervisor,
+    Heartbeat,
+    SupervisionConfig,
+)
+from repro.workloads import load
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
+
+# ---------------------------------------------------------------------
+# SupervisionConfig
+# ---------------------------------------------------------------------
+def test_config_validate_rejects_bad_knobs():
+    SupervisionConfig().validate()  # defaults are legal
+    for bad in (
+        SupervisionConfig(query_deadline_s=0),
+        SupervisionConfig(max_query_retries=-1),
+        SupervisionConfig(max_session_rebuilds=-1),
+        SupervisionConfig(breaker_threshold=0),
+        SupervisionConfig(breaker_cooldown_s=-0.5),
+    ):
+        with pytest.raises(ParameterError):
+            bad.validate()
+
+
+# ---------------------------------------------------------------------
+# CircuitBreaker
+# ---------------------------------------------------------------------
+def test_breaker_opens_after_threshold_consecutive_failures():
+    clock = FakeClock()
+    breaker = CircuitBreaker(3, 10.0, clock=clock)
+    assert breaker.state() == "closed"
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state() == "closed"  # 2 < threshold
+    breaker.record_success()  # success resets the streak
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state() == "closed"
+    breaker.record_failure()
+    assert breaker.state() == "open"
+    assert breaker.opens_total == 1
+
+
+def test_breaker_half_open_probe_cycle():
+    clock = FakeClock()
+    transitions = []
+    breaker = CircuitBreaker(
+        1, 5.0, clock=clock, on_transition=lambda o, n: transitions.append((o, n))
+    )
+    breaker.record_failure()
+    assert breaker.state() == "open"
+    assert breaker.admit() == "degraded"
+    clock.advance(5.0)
+    assert breaker.state() == "half_open"
+    # Exactly one probe; concurrent admits stay degraded.
+    assert breaker.admit() == "engine"
+    assert breaker.admit() == "degraded"
+    assert breaker.probes_total == 1
+    # Probe failure: straight back to open with a fresh cooldown.
+    breaker.record_failure()
+    assert breaker.state() == "open"
+    assert breaker.probe_failures_total == 1
+    clock.advance(5.0)
+    assert breaker.admit() == "engine"  # second probe
+    breaker.record_success()
+    assert breaker.state() == "closed"
+    assert breaker.closes_total == 1
+    assert transitions == [
+        ("closed", "open"),
+        ("open", "half_open"),
+        ("half_open", "open"),
+        ("open", "half_open"),
+        ("half_open", "closed"),
+    ]
+
+
+def test_breaker_pin_open_is_permanent():
+    clock = FakeClock()
+    breaker = CircuitBreaker(1, 1.0, clock=clock)
+    breaker.pin_open("rebuild budget exhausted (0)")
+    clock.advance(1000.0)
+    assert breaker.state() == "open"  # no half-open for a pinned breaker
+    assert breaker.admit() == "degraded"
+    assert breaker.describe()["pinned"].startswith("rebuild budget")
+
+
+def test_breaker_retry_after_floor():
+    clock = FakeClock()
+    breaker = CircuitBreaker(1, 30.0, clock=clock)
+    breaker.record_failure()
+    assert breaker.retry_after_s() == pytest.approx(30.0)
+    clock.advance(29.5)
+    assert breaker.retry_after_s() >= 1.0  # header floor
+
+
+# ---------------------------------------------------------------------
+# Heartbeat
+# ---------------------------------------------------------------------
+def test_heartbeat_stall_verdict():
+    clock = FakeClock()
+    hb = Heartbeat(clock)
+    snap = hb.snapshot(deadline_s=2.0)
+    assert snap["busy"] is False and snap["stalled"] is False
+    hb.start_query("karate", "skyline")
+    clock.advance(1.0)
+    assert hb.snapshot(2.0)["stalled"] is False
+    clock.advance(2.0)
+    snap = hb.snapshot(2.0)
+    assert snap["stalled"] is True and snap["graph"] == "karate"
+    assert hb.snapshot(None)["stalled"] is False  # no deadline, no verdict
+    hb.finish_query()
+    assert hb.snapshot(2.0)["stalled"] is False
+    assert hb.queries_started == hb.queries_finished == 1
+
+
+# ---------------------------------------------------------------------
+# EngineSupervisor end-to-end (real GraphEntry, injected faults)
+# ---------------------------------------------------------------------
+def _supervised(config, fault_plan=None, clock=None):
+    registry = GraphRegistry(workers=1)
+    registry.register_spec("karate")
+    metrics = ServerMetrics()
+    kwargs = {} if clock is None else {"clock": clock}
+    supervisor = EngineSupervisor(
+        config, metrics, fault_plan=fault_plan, **kwargs
+    )
+    return registry, supervisor, metrics
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def test_clean_query_matches_direct_execute():
+    registry, supervisor, metrics = _supervised(SupervisionConfig())
+    try:
+        outcome = _run(
+            supervisor.execute(registry.entry("karate"), "skyline", {})
+        )
+        assert outcome[0] == "ok"
+        direct = execute_query(
+            GraphRegistry(workers=1).register(
+                "karate", load("karate"), source="dataset:karate"
+            ),
+            "skyline",
+            {},
+        )
+        payload = dict(outcome[1])
+        payload.pop("_counters")
+        direct.pop("_counters")
+        assert payload == direct
+        assert metrics.rebuilds == {}
+    finally:
+        supervisor.close()
+        registry.close()
+
+
+def test_transient_fault_heals_with_bitforbit_retry():
+    """Fault on dispatch 0 → rebuild + retry → the exact direct result."""
+    plan = ServeFaultPlan.single("engine-exception", "karate", 0)
+    registry, supervisor, metrics = _supervised(
+        SupervisionConfig(backoff_base_s=0.001), fault_plan=plan
+    )
+    try:
+        entry = registry.entry("karate")
+        outcome = _run(supervisor.execute(entry, "skyline", {}))
+        assert outcome[0] == "ok"
+        assert metrics.rebuilds == {"karate": 1}
+        assert entry.rebuilds_total == 1
+        assert metrics.engine_failures[("karate", "RuntimeError")] == 1
+        assert entry.breaker.state() == "closed"  # success reset it
+        assert entry.breaker.consecutive_failures == 0
+    finally:
+        supervisor.close()
+        registry.close()
+
+
+@pytest.mark.parametrize("kind", ["session-poison", "shm-attach-failure"])
+def test_poison_and_attach_faults_heal_too(kind):
+    plan = ServeFaultPlan.single(kind, "karate", 0)
+    registry, supervisor, metrics = _supervised(
+        SupervisionConfig(backoff_base_s=0.001), fault_plan=plan
+    )
+    try:
+        entry = registry.entry("karate")
+        outcome = _run(supervisor.execute(entry, "skyline", {}))
+        assert outcome[0] == "ok"
+        assert entry.rebuilds_total == 1
+    finally:
+        supervisor.close()
+        registry.close()
+
+
+def test_slow_fault_is_not_a_failure():
+    plan = ServeFaultPlan.always("slow", "karate", slow_seconds=0.01)
+    registry, supervisor, metrics = _supervised(
+        SupervisionConfig(), fault_plan=plan
+    )
+    try:
+        entry = registry.entry("karate")
+        outcome = _run(supervisor.execute(entry, "skyline", {}))
+        assert outcome[0] == "ok"
+        assert entry.rebuilds_total == 0
+        assert entry.breaker.consecutive_failures == 0
+    finally:
+        supervisor.close()
+        registry.close()
+
+
+def test_persistent_fault_opens_breaker_and_degrades():
+    """Breaker opens; skyline serves the cached last-good copy, group
+    gets 503 + Retry-After; a later probe re-closes the breaker."""
+    clock = FakeClock()
+    # Dispatch 0 clean (primes the last-good cache), then persistent
+    # faults until the plan runs dry at index 40.
+    plan = ServeFaultPlan(
+        {("karate", i): "engine-exception" for i in range(1, 40)}
+    )
+    config = SupervisionConfig(
+        max_query_retries=0,
+        breaker_threshold=2,
+        breaker_cooldown_s=10.0,
+        backoff_base_s=0.001,
+        max_session_rebuilds=100,
+    )
+    registry, supervisor, metrics = _supervised(
+        config, fault_plan=plan, clock=clock
+    )
+    try:
+        entry = registry.entry("karate")
+        good = _run(supervisor.execute(entry, "skyline", {}))
+        assert good[0] == "ok"
+
+        async def fail_until_open():
+            # The attempt that trips the threshold already answers from
+            # the degraded path, so "degraded" is a legal terminal here;
+            # a clean "ok" before the breaker opens would be the bug.
+            while entry.breaker is None or entry.breaker.state() != "open":
+                outcome = await supervisor.execute(entry, "skyline", {})
+                assert outcome[0] != "ok"
+
+        _run(fail_until_open())
+        assert entry.breaker.state() == "open"
+
+        # Degraded skyline: a 200-style payload, bit-for-bit the last
+        # good one (the graph is immutable), marked by the caller.
+        degraded = _run(supervisor.execute(entry, "skyline", {}))
+        assert degraded[0] == "degraded"
+        expected = {
+            k: v for k, v in good[1].items() if k != "_counters"
+        }
+        assert degraded[1] == expected
+
+        # Uncacheable kinds 503 with a Retry-After header.
+        refused = _run(supervisor.execute(entry, "group", {"k": 2}))
+        assert refused[0] == "error" and refused[1] == 503
+        assert int(refused[3]["Retry-After"]) >= 1
+
+        # Cooldown → half-open probe; the plan is exhausted by index
+        # 40 so the probe succeeds and re-closes the breaker.
+        supervisor._dispatches["karate"] = 40
+        clock.advance(10.0)
+        healed = _run(supervisor.execute(entry, "skyline", {}))
+        assert healed[0] == "ok"
+        assert entry.breaker.state() == "closed"
+        assert entry.breaker.closes_total == 1
+    finally:
+        supervisor.close()
+        registry.close()
+
+
+def test_parameter_error_never_charges_breaker():
+    registry, supervisor, metrics = _supervised(SupervisionConfig())
+    try:
+        entry = registry.entry("karate")
+        outcome = _run(
+            supervisor.execute(entry, "group", {"k": -1})
+        )
+        assert outcome == ("error", 400, "k must be >= 0, got -1")
+        assert entry.breaker.consecutive_failures == 0
+        assert entry.rebuilds_total == 0
+    finally:
+        supervisor.close()
+        registry.close()
+
+
+def test_hang_is_abandoned_by_watchdog():
+    plan = ServeFaultPlan.single("hang", "karate", 0, hang_seconds=5.0)
+    config = SupervisionConfig(
+        query_deadline_s=0.3, max_query_retries=1, backoff_base_s=0.001
+    )
+    registry, supervisor, metrics = _supervised(config, fault_plan=plan)
+    try:
+        entry = registry.entry("karate")
+        outcome = _run(supervisor.execute(entry, "skyline", {}))
+        # The hang was abandoned, the session rebuilt, the retry clean.
+        assert outcome[0] == "ok"
+        assert metrics.abandoned_queries_total == 1
+        assert metrics.engine_failures[("karate", "hang")] == 1
+        assert entry.rebuilds_total == 1
+    finally:
+        supervisor.close()
+        registry.close()
+
+
+def test_rebuild_budget_exhaustion_pins_breaker():
+    plan = ServeFaultPlan.always("engine-exception", "karate")
+    config = SupervisionConfig(
+        max_query_retries=0,
+        max_session_rebuilds=2,
+        breaker_threshold=100,  # budget, not breaker, is the limiter
+        backoff_base_s=0.001,
+    )
+    registry, supervisor, metrics = _supervised(config, fault_plan=plan)
+    try:
+        entry = registry.entry("karate")
+        for _ in range(3):
+            outcome = _run(supervisor.execute(entry, "skyline", {}))
+            assert outcome[0] == "error"
+        assert entry.rebuilds_total == 2  # budget spent
+        assert entry.breaker.pinned_reason is not None
+        assert entry.breaker.state() == "open"
+        # Pinned: no engine dispatch at all, straight to degraded/503.
+        before = supervisor._dispatches["karate"]
+        outcome = _run(supervisor.execute(entry, "skyline", {}))
+        assert outcome[0] == "error" and outcome[1] == 503
+        assert supervisor._dispatches["karate"] == before
+    finally:
+        supervisor.close()
+        registry.close()
+
+
+def test_per_graph_isolation():
+    """A persistently broken graph never degrades its neighbor."""
+    plan = ServeFaultPlan.always("engine-exception", "karate")
+    config = SupervisionConfig(
+        max_query_retries=0, breaker_threshold=1, backoff_base_s=0.001
+    )
+    registry = GraphRegistry(workers=1)
+    registry.register_spec("karate")
+    registry.register_spec("bombing_proxy")
+    metrics = ServerMetrics()
+    supervisor = EngineSupervisor(config, metrics, fault_plan=plan)
+    try:
+        broken = registry.entry("karate")
+        healthy = registry.entry("bombing_proxy")
+        assert _run(supervisor.execute(broken, "skyline", {}))[0] == "error"
+        assert broken.breaker.state() == "open"
+        for _ in range(3):
+            outcome = _run(supervisor.execute(healthy, "skyline", {}))
+            assert outcome[0] == "ok"
+        assert healthy.breaker.state() == "closed"
+        assert healthy.rebuilds_total == 0
+    finally:
+        supervisor.close()
+        registry.close()

@@ -350,6 +350,94 @@ def test_serve_requires_graph():
         build_parser().parse_args(["serve"])
 
 
+def test_serve_corrupt_snapshot_is_one_line_error(capsys, tmp_path):
+    """A truncated .rsky (valid magic, garbage after) must fail
+    registration with one clear `error:` line, never a traceback."""
+    corrupt = tmp_path / "corrupt.rsky"
+    corrupt.write_bytes(b"RSKY" + b"\xff" * 16)
+    code = main(
+        ["serve", "--graph", f"g={corrupt}", "--max-requests", "0"]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: cannot load graph 'g'")
+    assert err.count("\n") == 1  # exactly the one line
+    assert "Traceback" not in err
+
+
+def test_serve_malformed_edge_list_is_one_line_error(capsys, tmp_path):
+    bad = tmp_path / "bad.edges"
+    bad.write_text("0 1\nnot numbers here\n")
+    code = main(["serve", "--graph", f"g={bad}", "--max-requests", "0"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: cannot load graph 'g'")
+    assert "Traceback" not in err
+
+
+def test_serve_missing_file_is_one_line_error(capsys, tmp_path):
+    code = main(
+        [
+            "serve",
+            "--graph",
+            f"g={tmp_path / 'missing.edges'}",
+            "--max-requests",
+            "0",
+        ]
+    )
+    assert code == 2
+    assert capsys.readouterr().err.startswith("error: cannot load graph")
+
+
+def test_serve_validates_supervision_flags(capsys):
+    code = main(
+        [
+            "serve",
+            "--graph",
+            "karate",
+            "--breaker-threshold",
+            "0",
+            "--max-requests",
+            "0",
+        ]
+    )
+    assert code == 2
+    assert "breaker_threshold" in capsys.readouterr().err
+
+
+def test_serve_supervision_flags_accepted(capsys):
+    """The PR 9 resilience + chaos flags all parse and the server runs
+    its full lifecycle under them."""
+    code = main(
+        [
+            "serve",
+            "--graph",
+            "karate",
+            "--port",
+            "0",
+            "--max-requests",
+            "0",
+            "--query-deadline",
+            "5",
+            "--max-session-rebuilds",
+            "4",
+            "--breaker-threshold",
+            "2",
+            "--breaker-cooldown",
+            "0.5",
+            "--no-degraded-cache",
+            "--chaos-seed",
+            "3",
+            "--chaos-rate",
+            "0.5",
+            "--chaos-kinds",
+            "engine-exception,slow",
+        ]
+    )
+    assert code == 0
+    assert "serving on http://" in capsys.readouterr().out
+
+
 def test_serve_zero_requests_starts_and_exits(capsys):
     """--max-requests 0 brings the full server up and straight down:
     registry + sessions + listener lifecycle without any traffic."""
