@@ -463,13 +463,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from repro.harness.faults import ServeFaultPlan
 
         names = [spec.partition("=")[0].strip() for spec in args.graph]
-        fault_plan = ServeFaultPlan.seeded(
-            args.chaos_seed,
-            names,
-            rate=args.chaos_rate,
-            kinds=tuple(args.chaos_kinds.split(",")),
-            hang_seconds=args.chaos_hang_s,
-        )
+        try:
+            fault_plan = ServeFaultPlan.seeded(
+                args.chaos_seed,
+                names,
+                rate=args.chaos_rate,
+                kinds=tuple(args.chaos_kinds.split(",")),
+                hang_seconds=args.chaos_hang_s,
+            )
+        except ValueError as exc:
+            # A typo'd --chaos-kinds/--chaos-rate is a bad flag, not a
+            # crash: surface it as the conventional `error: ...` exit.
+            raise ParameterError(str(exc)) from exc
     registry = GraphRegistry(
         workers=workers,
         data_plane=args.data_plane,

@@ -245,6 +245,16 @@ class ServeFaultPlan:
         :meth:`FaultPlan.seeded`: each one costs a full per-query
         deadline.
         """
+        # Validate the whole menu up front: sampling might never draw a
+        # typo'd kind into a cell, and a bad plan must fail every time.
+        for kind in kinds:
+            if kind not in SERVE_FAULT_KINDS:
+                raise ValueError(
+                    f"unknown serve fault kind {kind!r}; "
+                    f"choose from {SERVE_FAULT_KINDS}"
+                )
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {rate}")
         rng = Random(seed)
         faults = {
             (graph, index): rng.choice(kinds)

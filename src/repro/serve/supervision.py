@@ -225,6 +225,18 @@ class CircuitBreaker:
             self.closes_total += 1
             self._transition("closed")
 
+    def release_probe(self) -> None:
+        """Give the probe slot back without a verdict.
+
+        For exits that say nothing about engine health — a client
+        parameter error, a query abandoned mid-recovery, task
+        cancellation at shutdown.  The breaker stays ``half_open`` and
+        the next :meth:`admit` becomes the probe; without this the slot
+        would leak and pin the breaker half-open (every query degraded)
+        forever.  No-op unless a probe is actually in flight.
+        """
+        self._probe_in_flight = False
+
     def record_failure(self) -> None:
         """An engine query (or the probe) failed."""
         self.failures_total += 1
@@ -434,14 +446,27 @@ class EngineSupervisor:
             except asyncio.TimeoutError:
                 cancelled.set()
                 self._abandon_executor()
+                # The fenced thread skips its own heartbeat updates once
+                # the token is set, so settle the books here: the engine
+                # is idle again (a fresh executor) and the abandoned
+                # query is finished as far as /health is concerned.
+                self.heartbeat.finish_query()
                 failure = f"query exceeded {self.config.query_deadline_s}s deadline"
                 self.metrics.record_engine_failure(entry.name, "hang")
             except ParameterError as exc:
-                # Client error: no breaker charge, no rebuild, no retry.
+                # Client error: no breaker charge, no rebuild, no retry
+                # — and no probe verdict, so free the slot if held.
+                breaker.release_probe()
                 return ("error", 400, str(exc))
             except _AbandonedQuery:
                 # Stale fenced thread; the query was already answered.
+                breaker.release_probe()
                 return ("error", 503, "query abandoned during recovery")
+            except asyncio.CancelledError:
+                # Shutdown/interrupt cancellation, not an engine verdict:
+                # don't charge the breaker or tear the session down.
+                breaker.release_probe()
+                raise
             except BaseException as exc:
                 failure = f"{type(exc).__name__}: {exc}"
                 self.metrics.record_engine_failure(
@@ -472,6 +497,8 @@ class EngineSupervisor:
     # -- engine-thread body --------------------------------------------
     def _run_query(self, entry, kind, params, fault, cancelled) -> dict:
         """Everything that runs on the engine thread, fenced + faulted."""
+        if cancelled.is_set():
+            raise _AbandonedQuery(entry.name)
         self.heartbeat.start_query(entry.name, kind)
         try:
             if fault is not None:
@@ -480,7 +507,12 @@ class EngineSupervisor:
                 raise _AbandonedQuery(entry.name)
             return execute_query(entry, kind, params)
         finally:
-            self.heartbeat.finish_query()
+            # A tripped cancel token means the supervisor already
+            # abandoned this query (and settled the heartbeat itself);
+            # a beat from this stale thread would clobber whatever the
+            # replacement executor is now running.
+            if not cancelled.is_set():
+                self.heartbeat.finish_query()
 
     def _perform_serve_fault(self, kind, entry, cancelled) -> None:
         """Misbehave as the serve plan dictates (see ServeFaultPlan)."""

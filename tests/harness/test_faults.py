@@ -105,6 +105,12 @@ def test_serve_plan_unknown_kind_rejected():
     with pytest.raises(ValueError, match="unknown serve fault kind"):
         ServeFaultPlan({("g", 0): "crash"})  # a pool kind, not a serve kind
     assert "engine-exception" in SERVE_FAULT_KINDS
+    # seeded() validates the whole menu up front — sampling might never
+    # draw the typo into a cell, and a bad plan must fail every time.
+    with pytest.raises(ValueError, match="unknown serve fault kind"):
+        ServeFaultPlan.seeded(1, ["g"], kinds=("engine-exception", "typo"))
+    with pytest.raises(ValueError, match="rate"):
+        ServeFaultPlan.seeded(1, ["g"], rate=1.5)
 
 
 def test_serve_plan_exact_and_wildcard_cells():

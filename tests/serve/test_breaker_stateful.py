@@ -128,6 +128,18 @@ class BreakerMachine(RuleBasedStateMachine):
                 self.breaker.record_failure()
             self._m_record(success)
 
+    @rule()
+    def query_without_verdict(self):
+        """An admitted query that exits with no engine verdict — a
+        client parameter error or a cancellation.  The supervisor calls
+        ``release_probe()`` on those paths; a leaked slot would pin the
+        breaker half-open with every later admit degrading."""
+        verdict = self.breaker.admit()
+        assert verdict == self._m_admit()
+        if verdict == "engine":
+            self.breaker.release_probe()
+            self.m_probe = False
+
     @rule(seconds=st.floats(min_value=0.0, max_value=3 * COOLDOWN))
     def advance(self, seconds):
         self.clock.now += seconds

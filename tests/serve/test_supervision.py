@@ -113,6 +113,27 @@ def test_breaker_half_open_probe_cycle():
     ]
 
 
+def test_breaker_release_probe_frees_the_slot_without_a_verdict():
+    """A probe that exits with no verdict (client 400, cancellation)
+    must hand the slot back, or the breaker sticks half-open forever."""
+    clock = FakeClock()
+    breaker = CircuitBreaker(1, 5.0, clock=clock)
+    breaker.record_failure()
+    clock.advance(5.0)
+    assert breaker.admit() == "engine"  # the probe
+    breaker.release_probe()
+    # Still half-open, and the *next* admit becomes a fresh probe
+    # instead of degrading behind a leaked slot.
+    assert breaker.state() == "half_open"
+    assert breaker.admit() == "engine"
+    assert breaker.probes_total == 2
+    breaker.record_success()
+    assert breaker.state() == "closed"
+    # No-op outside a probe: a closed breaker is unaffected.
+    breaker.release_probe()
+    assert breaker.state() == "closed" and breaker.admit() == "engine"
+
+
 def test_breaker_pin_open_is_permanent():
     clock = FakeClock()
     breaker = CircuitBreaker(1, 1.0, clock=clock)
@@ -323,6 +344,72 @@ def test_parameter_error_never_charges_breaker():
         registry.close()
 
 
+def test_parameter_error_during_half_open_releases_probe():
+    """A client 400 riding the half-open probe must free the slot; a
+    leaked slot would pin the breaker half-open (every later query
+    degraded) until an operator restart."""
+    clock = FakeClock()
+    registry, supervisor, metrics = _supervised(
+        SupervisionConfig(breaker_threshold=1, breaker_cooldown_s=5.0),
+        clock=clock,
+    )
+    try:
+        entry = registry.entry("karate")
+        breaker = supervisor.breaker_for(entry)
+        breaker.record_failure()  # open
+        clock.advance(5.0)  # → half_open
+        # Bad per-kind params only surface inside execute_query, on the
+        # engine thread — i.e. after this query was admitted as the probe.
+        outcome = _run(supervisor.execute(entry, "group", {"k": -1}))
+        assert outcome[0] == "error" and outcome[1] == 400
+        assert breaker._probe_in_flight is False
+        assert breaker.state() == "half_open"
+        # The slot is free: the next clean query probes and heals.
+        healed = _run(supervisor.execute(entry, "skyline", {}))
+        assert healed[0] == "ok"
+        assert breaker.state() == "closed"
+    finally:
+        supervisor.close()
+        registry.close()
+
+
+def test_cancellation_propagates_without_charging_breaker():
+    """Task cancellation (shutdown/interrupt) is not an engine verdict:
+    no breaker charge, no rebuild, and a held probe slot is released."""
+    clock = FakeClock()
+    # Long enough for the cancel to land mid-query, short enough that
+    # close() (which drains the still-running engine thread) stays fast.
+    plan = ServeFaultPlan.always("slow", "karate", slow_seconds=0.6)
+    registry, supervisor, metrics = _supervised(
+        SupervisionConfig(breaker_threshold=1, breaker_cooldown_s=5.0),
+        fault_plan=plan,
+        clock=clock,
+    )
+    try:
+        entry = registry.entry("karate")
+        breaker = supervisor.breaker_for(entry)
+        breaker.record_failure()  # open
+        clock.advance(5.0)  # → half_open: the next query is the probe
+
+        async def cancel_mid_probe():
+            task = asyncio.ensure_future(
+                supervisor.execute(entry, "skyline", {})
+            )
+            await asyncio.sleep(0.1)  # let the probe reach the engine
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+
+        _run(cancel_mid_probe())
+        assert breaker._probe_in_flight is False
+        assert breaker.state() == "half_open"
+        assert breaker.failures_total == 1  # only the seeded failure
+        assert entry.rebuilds_total == 0
+    finally:
+        supervisor.close()
+        registry.close()
+
+
 def test_hang_is_abandoned_by_watchdog():
     plan = ServeFaultPlan.single("hang", "karate", 0, hang_seconds=5.0)
     config = SupervisionConfig(
@@ -337,6 +424,15 @@ def test_hang_is_abandoned_by_watchdog():
         assert metrics.abandoned_queries_total == 1
         assert metrics.engine_failures[("karate", "hang")] == 1
         assert entry.rebuilds_total == 1
+        # The supervisor settled the abandoned query's heartbeat itself
+        # (hung + retry = 2 started, 2 finished) and the fenced stale
+        # thread must not beat again: /health shows idle, not a phantom
+        # in-flight query, and the counters stay conserved.
+        snap = supervisor.heartbeat.snapshot(config.query_deadline_s)
+        assert snap["busy"] is False and snap["graph"] is None
+        assert snap["queries_started"] == snap["queries_finished"] == 2
+        supervisor.close()  # joins the abandoned thread
+        assert supervisor.heartbeat.queries_finished == 2  # no stale beat
     finally:
         supervisor.close()
         registry.close()

@@ -438,6 +438,28 @@ def test_serve_supervision_flags_accepted(capsys):
     assert "serving on http://" in capsys.readouterr().out
 
 
+def test_serve_rejects_unknown_chaos_kind(capsys):
+    """A typo'd --chaos-kinds is a bad flag (`error:` + exit 2), not a
+    traceback out of ServeFaultPlan's constructor."""
+    code = main(
+        [
+            "serve",
+            "--graph",
+            "karate",
+            "--max-requests",
+            "0",
+            "--chaos-seed",
+            "3",
+            "--chaos-kinds",
+            "engine-exception,engine-explosion",
+        ]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "engine-explosion" in err
+
+
 def test_serve_zero_requests_starts_and_exits(capsys):
     """--max-requests 0 brings the full server up and straight down:
     registry + sessions + listener lifecycle without any traffic."""
