@@ -227,6 +227,89 @@ def render_large_tier(entries) -> str:
     )
 
 
+def render_greedy_vector(entries) -> str:
+    """Batched gain-plane before/after table (``greedy_vector`` rows).
+
+    One row per instance: pool shape, the eager reference wall, the
+    scalar and batched lazy walls with the measured speedup, and the
+    auto-chosen lane width.  Returns ``""`` when
+    ``bench_greedy_vector.py`` has not been run yet.
+    """
+    by_inst = {}
+    for e in entries:
+        if e["bench"] == "greedy_vector":
+            variant = e.get("extra", {}).get("variant")
+            by_inst.setdefault(e["instance"], {})[variant] = e
+    rows = []
+    for name in sorted(by_inst):
+        group = by_inst[name]
+        before = group.get("before")
+        after = group.get("after")
+        if before is None or after is None:
+            continue
+        ref = group.get("reference")
+        a_extra = after.get("extra", {})
+        ratio = a_extra.get(
+            "speedup_vs_scalar", before["wall_s"] / after["wall_s"]
+        )
+        eager_cell = f"{ref['wall_s']:.1f}" if ref is not None else "?"
+        rows.append(
+            f"| {name} | {a_extra.get('k', '?')} "
+            f"| {a_extra.get('pool_size', '?')} | {eager_cell} "
+            f"| {before['wall_s']:.1f} | {after['wall_s']:.1f} "
+            f"| {ratio:.1f}x | {a_extra.get('gain_batch', '?')} |"
+        )
+    if not rows:
+        return ""
+    return "\n".join(
+        [
+            "| dataset | k | pool | eager (s) | lazy scalar (s) "
+            "| lazy batched (s) | speedup | B |",
+            "|---|---|---|---|---|---|---|---|",
+            *rows,
+        ]
+    )
+
+
+def render_containment_vector(entries) -> str:
+    """Containment-join kernel table (``containment_vector`` rows).
+
+    One row per instance: skyline size and end-to-end ``LC-join``
+    skyline walls under the scalar and vector kernels.  Returns ``""``
+    when no containment rows exist yet.
+    """
+    by_key = {
+        (e["instance"], e["algorithm"]): e
+        for e in entries
+        if e["bench"] == "containment_vector"
+    }
+    rows = []
+    for name in sorted({k[0] for k in by_key}):
+        before = by_key.get((name, "LCJoinSky-scalar"))
+        after = by_key.get((name, "LCJoinSky-vector"))
+        if before is None or after is None:
+            continue
+        a_extra = after.get("extra", {})
+        ratio = a_extra.get(
+            "speedup_vs_scalar", before["wall_s"] / after["wall_s"]
+        )
+        rows.append(
+            f"| {name} | {a_extra.get('skyline_size', '?')} "
+            f"| {before['wall_s']:.3f} | {after['wall_s']:.3f} "
+            f"| {ratio:.2f}x |"
+        )
+    if not rows:
+        return ""
+    return "\n".join(
+        [
+            "| dataset | \\|R\\| | join scalar (s) | join vector (s) "
+            "| speedup |",
+            "|---|---|---|---|---|",
+            *rows,
+        ]
+    )
+
+
 def main() -> int:
     path = os.path.join(REPO_ROOT, BENCH_FILENAME)
     entries = load_bench_json(path)
@@ -255,6 +338,14 @@ def main() -> int:
     if large:
         print()
         print(large)
+    greedy_vector = render_greedy_vector(entries)
+    if greedy_vector:
+        print()
+        print(greedy_vector)
+    containment_vector = render_containment_vector(entries)
+    if containment_vector:
+        print()
+        print(containment_vector)
     return 0
 
 

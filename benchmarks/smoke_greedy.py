@@ -2,12 +2,17 @@
 
 Plain script (no pytest) so CI can run it in seconds on tiny registry
 instances: runs BaseGC/NeiSkyGC and BaseGH under the eager reference
-driver, the lazy engine, and the lazy engine with a forced round-0
+driver, the lazy engine, the lazy engine with forced batched gain
+lanes (``gain_batch=3``), and the lazy engine with a forced round-0
 worker pool, asserts every result bit-for-bit identical (group, gains,
 pool size), checks the counter invariant ``lazy.evaluations +
 lazy.evaluations_saved == eager.evaluations``, and records the wall
 times into ``BENCH_skyline.json`` at the repo root (merge-write:
-entries from full benchmark runs are preserved).
+entries from full benchmark runs are preserved).  The merged document
+is schema checked with :func:`repro.harness.benchjson.validate_file`,
+and the whole run must finish inside ``REPRO_SMOKE_GREEDY_BUDGET``
+seconds (default 120) so a perf regression in the smoke tier fails CI
+instead of quietly stretching it.
 
 Exit status is non-zero on any mismatch, so the CI step fails loudly.
 
@@ -26,12 +31,16 @@ from repro.centrality import base_gc, base_gh, neisky_gc
 from repro.harness.benchjson import (
     BENCH_FILENAME,
     bench_entry,
+    validate_file,
     write_bench_json,
 )
 from repro.workloads import load
 
 DEFAULT_INSTANCES = ("karate", "bombing_proxy")
 SMOKE_K = 6
+
+#: Wall-time budget for the whole smoke run, in seconds.
+WALL_BUDGET = float(os.environ.get("REPRO_SMOKE_GREEDY_BUDGET", "120"))
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
@@ -66,6 +75,16 @@ def run(instances) -> list[dict]:
                 lambda r=runner: r(graph, SMOKE_K, strategy="lazy")
             )
             _check_pair(name, label, eager, lazy)
+            # Forced batched lanes (the graphs are below the auto
+            # threshold, so force a width): must be a pure no-op on
+            # the result and the evaluation accounting.
+            t_batched, batched = _timed(
+                lambda r=runner: r(
+                    graph, SMOKE_K, strategy="lazy", gain_batch=3
+                )
+            )
+            _check_pair(name, label, eager, batched)
+            assert batched.evaluations == lazy.evaluations, (name, label)
             entries.append(
                 bench_entry(
                     bench="smoke_greedy",
@@ -84,6 +103,18 @@ def run(instances) -> list[dict]:
                     extra={
                         "evaluations": lazy.evaluations,
                         "evaluations_saved": lazy.evaluations_saved,
+                    },
+                )
+            )
+            entries.append(
+                bench_entry(
+                    bench="smoke_greedy",
+                    instance=name,
+                    algorithm=f"{label}-lazy-batched(k={SMOKE_K},B=3)",
+                    wall_s=t_batched,
+                    extra={
+                        "evaluations": batched.evaluations,
+                        "evaluations_saved": batched.evaluations_saved,
                     },
                 )
             )
@@ -113,18 +144,28 @@ def run(instances) -> list[dict]:
         assert par.evaluations_saved == seq.evaluations_saved, name
 
         print(
-            f"{name}: k={SMOKE_K} eager/lazy/pooled groups identical; "
-            + saved_note
+            f"{name}: k={SMOKE_K} eager/lazy/batched/pooled groups "
+            "identical; " + saved_note
         )
     return entries
 
 
 def main(argv) -> int:
+    start = time.perf_counter()
     instances = tuple(argv) or DEFAULT_INSTANCES
     entries = run(instances)
     path = os.path.join(REPO_ROOT, BENCH_FILENAME)
     write_bench_json(path, entries)
-    print(f"merged {len(entries)} entries into {path}")
+    problems = validate_file(path)
+    assert not problems, problems
+    wall = time.perf_counter() - start
+    assert wall <= WALL_BUDGET, (
+        f"smoke run took {wall:.1f}s, over the {WALL_BUDGET:.0f}s budget"
+    )
+    print(
+        f"merged {len(entries)} entries into {path} (schema OK, "
+        f"{wall:.1f}s of {WALL_BUDGET:.0f}s budget)"
+    )
     return 0
 
 

@@ -60,6 +60,7 @@ def base_gc(
     timeout: Optional[float] = None,
     data_plane: str = "auto",
     session=None,
+    gain_batch="auto",
 ) -> GreedyResult:
     """Greedy group-closeness over the full vertex set (``BaseGC``).
 
@@ -78,6 +79,7 @@ def base_gc(
         timeout=timeout,
         data_plane=data_plane,
         session=session,
+        gain_batch=gain_batch,
     )
 
 
@@ -91,6 +93,7 @@ def neisky_gc(
     timeout: Optional[float] = None,
     data_plane: str = "auto",
     session=None,
+    gain_batch="auto",
 ) -> GreedyResult:
     """Algorithm 4 (``NeiSkyGC``): greedy restricted to the skyline.
 
@@ -111,4 +114,5 @@ def neisky_gc(
         timeout=timeout,
         data_plane=data_plane,
         session=session,
+        gain_batch=gain_batch,
     )

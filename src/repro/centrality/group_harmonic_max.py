@@ -54,6 +54,7 @@ def base_gh(
     timeout: Optional[float] = None,
     data_plane: str = "auto",
     session=None,
+    gain_batch="auto",
 ) -> GreedyResult:
     """Greedy group-harmonic over the full vertex set (``BaseGH``)."""
     return run_greedy(
@@ -65,6 +66,7 @@ def base_gh(
         timeout=timeout,
         data_plane=data_plane,
         session=session,
+        gain_batch=gain_batch,
     )
 
 
@@ -78,6 +80,7 @@ def neisky_gh(
     timeout: Optional[float] = None,
     data_plane: str = "auto",
     session=None,
+    gain_batch="auto",
 ) -> GreedyResult:
     """``NeiSkyGH``: greedy group-harmonic restricted to the skyline."""
     if skyline is None:
@@ -92,4 +95,5 @@ def neisky_gh(
         timeout=timeout,
         data_plane=data_plane,
         session=session,
+        gain_batch=gain_batch,
     )

@@ -29,13 +29,31 @@ optimizations:
    same kernels on the same snapshot, so the gains — and therefore the
    result — are bitwise independent of worker count and chunking.
 
+4. **Batched lanes** (``gain_batch``).  Evaluations run ``B`` sources
+   per vectorized kernel pass (:meth:`~repro.paths.csr.CSRTraversal.
+   _batch_scan`) instead of one Python-level BFS per call.  Round 0
+   scores the scope in blocks of ``B``; the CELF drain batches
+   *speculatively*: when a stale pop needs a re-score, the kernel also
+   scores the next ``B-1`` stale heap entries (the likeliest next pops)
+   into a round-local cache, and each later stale pop is served from
+   that cache.  The heap itself is driven by the exact scalar pop/push
+   sequence — stale bounds are never replaced speculatively, and
+   ``evaluations`` is charged per *consumed* pop only — so selections,
+   gains, ``evaluations`` and ``evaluations_saved`` are bit-for-bit
+   identical for every batch size.  Speculative work is visible in
+   ``counters.extra``: ``batch_rounds`` (kernel dispatches),
+   ``lanes_evaluated`` (total lanes scored) and
+   ``lanes_short_circuited`` (speculative lanes the drain never
+   consumed — wasted, bounded by ``B-1`` per round).
+
 ``evaluations`` counts gain evaluations actually performed;
 ``evaluations_saved`` is the eager schedule's count over the same pool
 minus that, so ``evaluations + evaluations_saved`` always equals the
 eager driver's ``evaluations`` for the same inputs.  (The one uncounted
-traversal: after a pooled round 0 the winner's update list is re-derived
-in-process — eager already charged that candidate's evaluation, and the
-recomputation is one BFS against the whole round's fan-out.)
+traversal: after a pooled or batched round 0 the winner's update list is
+re-derived in-process — eager already charged that candidate's
+evaluation, and the recomputation is one BFS against the whole round's
+fan-out.)
 """
 
 from __future__ import annotations
@@ -47,7 +65,17 @@ from repro.centrality.greedy import GainObjective, GreedyResult, greedy_maximize
 from repro.errors import ParameterError
 from repro.graph.adjacency import Graph
 from repro.parallel.engine import SMALL_GRAPH_EDGES
-from repro.paths.csr import CSRTraversal, make_evaluator
+from repro.paths.csr import (
+    CSRTraversal,
+    make_batch_evaluator,
+    make_evaluator,
+    resolve_gain_batch,
+)
+
+try:  # pragma: no cover - scalar fallback exercised via monkeypatching
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 __all__ = ["lazy_greedy_maximize", "run_greedy"]
 
@@ -64,6 +92,7 @@ def _pooled_round0(
     extra: Optional[dict],
     data_plane: str = "pickle",
     session=None,
+    batch: int = 1,
 ) -> list[float]:
     """Round-0 gains of ``scope``, fanned over a supervised worker pool.
 
@@ -77,6 +106,9 @@ def _pooled_round0(
     segments and each task carries a
     :class:`~repro.parallel.greedy_worker.GreedySpec`.  A ``session``
     supplies a warm pool and cached segments instead of per-call ones.
+    ``batch`` is the gain-batch lane count workers use inside each
+    chunk — gains are bitwise identical for any value, so it is purely
+    a worker-side execution knob.
 
     ``extra`` (a ``counters.extra`` dict, or ``None``) receives this
     call's recovery-event deltas and data-plane facts.
@@ -108,7 +140,7 @@ def _pooled_round0(
         if not _fb:
             _fb.append(
                 build_greedy_state(
-                    build_greedy_payload(graph, objective, scope)
+                    build_greedy_payload(graph, objective, scope, batch)
                 )
             )
         return _fb[0]
@@ -157,9 +189,10 @@ def _pooled_round0(
         obj_tag = blake2b(_dumps(objective), digest_size=8).hexdigest()
         spec = GreedySpec(
             epoch=epoch,
-            key=(pool_ref.name, obj_tag),
+            key=(pool_ref.name, obj_tag, batch),
             objective=objective,
             pool=pool_ref,
+            batch=batch,
         )
         plane_publish_s = _time.perf_counter() - publish_t0
         events_before = dict(supervisor.events)
@@ -183,7 +216,7 @@ def _pooled_round0(
     else:
         if session is not None:
             session_label = "cold"  # pickle-plane sessions never warm
-        payload = build_greedy_payload(graph, objective, scope)
+        payload = build_greedy_payload(graph, objective, scope, batch)
         supervisor = PoolSupervisor(
             workers=workers,
             initializer=init_greedy_worker,
@@ -233,6 +266,7 @@ def lazy_greedy_maximize(
     counters=None,
     data_plane: str = "auto",
     session=None,
+    gain_batch="auto",
 ) -> GreedyResult:
     """CELF-style greedy maximization; output equals ``greedy_maximize``.
 
@@ -268,6 +302,16 @@ def lazy_greedy_maximize(
         conflicting per-call values raise
         :class:`~repro.errors.ParameterError` (``workers=1``, this
         driver's default, defers to the session's count).
+    gain_batch:
+        Marginal-gain lanes per batched kernel call (``"auto"``, the
+        default, sizes from ``n`` and the pool;
+        :func:`~repro.paths.csr.resolve_gain_batch`).  Purely an
+        execution knob: the batched drain replays the scalar CELF
+        pop/push sequence exactly, so the group, gains, tie-breaks,
+        ``evaluations`` and ``evaluations_saved`` are identical for
+        every value.  Batch telemetry lands in ``counters.extra``
+        (``gain_batch`` / ``batch_rounds`` / ``lanes_evaluated`` /
+        ``lanes_short_circuited``).
     """
     from repro.parallel.params import validate_pool_params
     from repro.parallel.shm import resolve_data_plane
@@ -344,6 +388,20 @@ def lazy_greedy_maximize(
     eager_evaluations = 0  # what the eager schedule would have spent
     trav = CSRTraversal.from_graph(graph)
     evaluate = make_evaluator(trav, objective)
+    batch = resolve_gain_batch(gain_batch, n, len(pool))
+    batch_evaluate = (
+        make_batch_evaluator(trav, objective) if batch > 1 else None
+    )
+    if batch_evaluate is None:
+        batch = 1
+    # The batched kernel indexes the committed distances vectorized, so
+    # the batch path maintains an int32 ndarray mirror of `dist` (the
+    # scalar kernels keep the list: per-element list access is faster
+    # for the one-off winner re-derivations).
+    dist_nd = _np.full(n, -1, dtype=_np.int32) if batch > 1 else None
+    batch_rounds = 0
+    lanes_evaluated = 0
+    lanes_short_circuited = 0
     #: CELF heap of (-cached_gain, vertex, round_tag); each not-yet-
     #: chosen candidate appears exactly once.  A tag older than the
     #: current round marks the cached gain as a stale upper bound.
@@ -380,8 +438,30 @@ def lazy_greedy_maximize(
                     None if counters is None else counters.extra,
                     data_plane=effective_plane,
                     session=session,
+                    batch=batch,
                 )
                 # max() keeps the first maximum: smallest-ID tie-break.
+                best_idx = max(
+                    range(len(scope)), key=gain_vec.__getitem__
+                )
+                entries = list(zip(scope, gain_vec))
+                if batch > 1:
+                    batch_rounds += -(-len(scope) // batch)
+                    lanes_evaluated += len(scope)
+            elif batch > 1:
+                # Batched scope scan: gains only; the winner's update
+                # list is re-derived below (uncounted), like the pooled
+                # path.  max() keeps the first maximum: same tie-break.
+                gain_vec = []
+                for lo in range(0, len(scope), batch):
+                    lane = scope[lo : lo + batch]
+                    gain_vec.extend(
+                        g for g, _none in batch_evaluate(
+                            lane, dist_nd, False
+                        )
+                    )
+                    batch_rounds += 1
+                lanes_evaluated += len(scope)
                 best_idx = max(
                     range(len(scope)), key=gain_vec.__getitem__
                 )
@@ -404,6 +484,43 @@ def lazy_greedy_maximize(
                 if i != best_idx
             ]
             heapq.heapify(heap)
+        elif batch > 1:
+            # Batched CELF drain.  The heap evolution below is the
+            # scalar drain's, verbatim: stale bounds are popped in the
+            # same order, re-scored values pushed back one at a time,
+            # and `evaluations` charged per consumed pop.  The batching
+            # is purely speculative — a cache miss scores the popped
+            # candidate *plus* the next B-1 stale uncached heap entries
+            # (the likeliest next pops) in one kernel pass, and later
+            # pops are served from the round-local cache.  Gains cached
+            # mid-round stay valid because `dist` only changes at the
+            # commit, after the drain.  Lanes ship gains only
+            # (collect=False) — update lists for speculative lanes
+            # would be wasted materialization — so the winner's updates
+            # are re-derived below, like the pooled round 0's.
+            eager_evaluations += len(heap)
+            round_cache: dict[int, float] = {}
+            while True:
+                neg_gain, u, tag = heapq.heappop(heap)
+                if tag == round_no:
+                    best_u = u
+                    best_gain = -neg_gain
+                    break
+                gain = round_cache.pop(u, None)
+                if gain is None:
+                    lane = [u]
+                    for _ng, v, t in heapq.nsmallest(batch - 1, heap):
+                        if t != round_no and v not in round_cache:
+                            lane.append(v)
+                    results = batch_evaluate(lane, dist_nd, False)
+                    batch_rounds += 1
+                    lanes_evaluated += len(lane)
+                    for v, (g, _none) in zip(lane, results):
+                        round_cache[v] = g
+                    gain = round_cache.pop(u)
+                evaluations += 1
+                heapq.heappush(heap, (-gain, u, round_no))
+            lanes_short_circuited += len(round_cache)
         else:
             # CELF: pop/re-evaluate/re-push until the top is fresh.
             eager_evaluations += len(heap)
@@ -421,16 +538,33 @@ def lazy_greedy_maximize(
                 heapq.heappush(heap, (-gain, u, round_no))
 
         if best_updates is None:
-            # Pooled round 0 ships gains only; re-derive the winner's
-            # update list (uncounted: this candidate's evaluation was
-            # already charged above).
+            # Pooled/batched round 0 ships gains only; re-derive the
+            # winner's update list (uncounted: this candidate's
+            # evaluation was already charged above).
             _gain, best_updates = evaluate(best_u, dist, True)
-        for v, new in best_updates:
-            dist[v] = new
+        if dist_nd is None:
+            for v, new in best_updates:
+                dist[v] = new
+        else:
+            for v, new in best_updates:
+                dist[v] = new
+                dist_nd[v] = new
         in_group[best_u] = 1
         group.append(best_u)
         gains.append(best_gain)
 
+    if counters is not None:
+        extra = counters.extra
+        extra["gain_batch"] = batch
+        extra["batch_rounds"] = (
+            extra.get("batch_rounds", 0) + batch_rounds
+        )
+        extra["lanes_evaluated"] = (
+            extra.get("lanes_evaluated", 0) + lanes_evaluated
+        )
+        extra["lanes_short_circuited"] = (
+            extra.get("lanes_short_circuited", 0) + lanes_short_circuited
+        )
     return GreedyResult(
         group=tuple(group),
         gains=tuple(gains),
@@ -458,6 +592,7 @@ def run_greedy(
     counters=None,
     data_plane: str = "auto",
     session=None,
+    gain_batch="auto",
 ) -> GreedyResult:
     """Strategy dispatcher shared by the Base*/NeiSky* entry points.
 
@@ -467,7 +602,9 @@ def run_greedy(
     rejected rather than silently ignored — and ``timeout`` /
     ``max_retries`` / ``fault_plan`` / ``counters`` / ``data_plane`` /
     ``session`` configure that fan-out's supervisor and data plane
-    (see :func:`lazy_greedy_maximize`).
+    (see :func:`lazy_greedy_maximize`).  ``gain_batch`` sets the
+    batched-kernel lane count for either strategy; every value yields
+    the identical result.
     """
     if strategy == "eager":
         if workers != 1:
@@ -480,7 +617,10 @@ def run_greedy(
                 "sessions drive the pooled lazy engine; eager greedy "
                 "is sequential by definition"
             )
-        return greedy_maximize(graph, k, objective, candidates=candidates)
+        return greedy_maximize(
+            graph, k, objective, candidates=candidates,
+            gain_batch=gain_batch,
+        )
     if strategy != "lazy":
         raise ParameterError(
             f"unknown greedy strategy {strategy!r}; choose 'eager' or 'lazy'"
@@ -499,4 +639,5 @@ def run_greedy(
         counters=counters,
         data_plane=data_plane,
         session=session,
+        gain_batch=gain_batch,
     )

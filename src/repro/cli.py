@@ -112,6 +112,24 @@ def _validated_workers(args: argparse.Namespace) -> int:
     return workers
 
 
+def _parse_gain_batch(value: str):
+    """``--gain-batch`` parser: ``"auto"`` or a positive lane count.
+
+    Validation proper happens at the API boundary
+    (:func:`repro.paths.csr.validate_gain_batch`); this just turns the
+    CLI string into the value the runners expect.
+    """
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise ParameterError(
+            f"--gain-batch must be 'auto' or a positive integer, "
+            f"got {value!r}"
+        ) from None
+
+
 def _parallel_skyline(
     graph: Graph, args: argparse.Namespace
 ) -> Optional[SkylineResult]:
@@ -302,6 +320,7 @@ def _cmd_group(args: argparse.Namespace) -> int:
         options = {
             "strategy": args.strategy,
             "workers": workers if lazy else 1,
+            "gain_batch": _parse_gain_batch(args.gain_batch),
         }
         if lazy and session is not None:
             options["session"] = session
@@ -645,6 +664,16 @@ def build_parser() -> argparse.ArgumentParser:
             "greedy schedule: eager re-evaluates every candidate each "
             "round; lazy (CELF) returns the identical group with far "
             "fewer gain evaluations"
+        ),
+    )
+    p_grp.add_argument(
+        "--gain-batch",
+        default="auto",
+        help=(
+            "marginal-gain lanes per batched kernel call: 'auto' "
+            "(default, sized from the graph and candidate pool), a "
+            "positive integer to force a lane count, or 1 to force the "
+            "scalar kernels — identical groups either way"
         ),
     )
     _add_workers_argument(p_grp)

@@ -226,6 +226,7 @@ def group_centrality_maximize(
     timeout: Optional[float] = None,
     data_plane: str = "auto",
     session=None,
+    gain_batch="auto",
 ):
     """One-call dispatcher for the Sec. IV group-centrality applications.
 
@@ -258,6 +259,13 @@ def group_centrality_maximize(
         :func:`engine_session` to run it on — see
         :func:`~repro.parallel.engine.parallel_refine_sky` for the
         plane semantics.  Identical output either way.
+    gain_batch:
+        Marginal-gain lanes per batched evaluation-kernel call:
+        ``"auto"`` (the default) sizes from ``n`` and the candidate
+        pool, a positive int forces that lane count, ``1`` forces the
+        scalar kernels.  Purely an execution knob — the batched kernel
+        is bit-for-bit equal to the scalar one (see
+        :mod:`repro.paths.csr`), so the group never depends on it.
 
     Returns a :class:`~repro.centrality.greedy.GreedyResult`.  Imported
     lazily: :mod:`repro.centrality` itself imports core modules.
@@ -268,8 +276,10 @@ def group_centrality_maximize(
     """
     from repro.centrality import base_gc, base_gh, neisky_gc, neisky_gh
     from repro.parallel.params import validate_pool_params
+    from repro.paths.csr import validate_gain_batch
 
     validate_pool_params(workers=workers, timeout=timeout)
+    validate_gain_batch(gain_batch)
     if measure == "closeness":
         base_run, sky_run = base_gc, neisky_gc
     elif measure == "harmonic":
@@ -288,6 +298,7 @@ def group_centrality_maximize(
             timeout=timeout,
             data_plane=data_plane,
             session=session,
+            gain_batch=gain_batch,
         )
     return sky_run(
         graph,
@@ -298,4 +309,5 @@ def group_centrality_maximize(
         timeout=timeout,
         data_plane=data_plane,
         session=session,
+        gain_batch=gain_batch,
     )

@@ -28,13 +28,22 @@ __all__ = ["lc_join_sky"]
 
 
 def lc_join_sky(
-    graph: Graph, *, counters: Optional[SkylineCounters] = None
+    graph: Graph,
+    *,
+    counters: Optional[SkylineCounters] = None,
+    join_kernel: str = "auto",
 ) -> SkylineResult:
-    """Compute the neighborhood skyline via a set-containment join."""
+    """Compute the neighborhood skyline via a set-containment join.
+
+    ``join_kernel`` selects the posting-list intersection kernel
+    (``"auto"``/``"scalar"``/``"vector"`` — see
+    :class:`~repro.containment.lcjoin.ContainmentJoin`); the skyline is
+    identical under every setting.
+    """
     stats = counters if counters is not None else NULL_COUNTERS
     n = graph.num_vertices
     data = RecordSet.closed_neighborhoods(graph)
-    join = ContainmentJoin(data)
+    join = ContainmentJoin(data, kernel=join_kernel)
 
     dominator = list(range(n))
     degree = graph.degree

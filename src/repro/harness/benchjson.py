@@ -44,6 +44,8 @@ __all__ = [
     "entry_key",
     "load_bench_json",
     "merge_entries",
+    "validate_entry",
+    "validate_file",
     "write_bench_json",
 ]
 
@@ -110,6 +112,96 @@ def load_bench_json(path: str) -> list[dict]:
         return []
     entries = doc.get("entries", [])
     return entries if isinstance(entries, list) else []
+
+
+#: Entry keys the schema defines; anything else is a writer bug.
+_REQUIRED_KEYS = ("bench", "instance", "algorithm")
+_OPTIONAL_KEYS = ("refine_s", "counters", "extra")
+_KNOWN_KEYS = frozenset(_REQUIRED_KEYS + ("wall_s",) + _OPTIONAL_KEYS)
+
+
+def validate_entry(entry: Any, where: str = "entry") -> list[str]:
+    """Schema problems of one entry, as human-readable strings.
+
+    Empty list means valid.  ``where`` prefixes each message so
+    :func:`validate_file` can point at the offending list index.
+    """
+    problems: list[str] = []
+    if not isinstance(entry, dict):
+        return [f"{where}: not an object"]
+    for key in _REQUIRED_KEYS:
+        value = entry.get(key)
+        if not isinstance(value, str) or not value:
+            problems.append(f"{where}: {key!r} must be a non-empty str")
+    wall = entry.get("wall_s")
+    if not isinstance(wall, (int, float)) or isinstance(wall, bool) or (
+        wall != wall or wall < 0
+    ):
+        problems.append(f"{where}: 'wall_s' must be a number >= 0")
+    refine = entry.get("refine_s")
+    if refine is not None and (
+        not isinstance(refine, (int, float))
+        or isinstance(refine, bool)
+        or refine != refine
+        or refine < 0
+    ):
+        problems.append(f"{where}: 'refine_s' must be a number >= 0")
+    for key in ("counters", "extra"):
+        if key in entry and not isinstance(entry[key], dict):
+            problems.append(f"{where}: {key!r} must be an object")
+    unknown = set(entry) - _KNOWN_KEYS
+    if unknown:
+        problems.append(
+            f"{where}: unknown keys {sorted(unknown)}"
+        )
+    return problems
+
+
+def validate_file(path: str) -> list[str]:
+    """Schema problems of a whole document (``[]`` means valid).
+
+    Checks the envelope (``schema`` version, ``entries`` list), every
+    entry via :func:`validate_entry`, and key uniqueness — duplicate
+    ``(bench, instance, algorithm)`` keys mean a writer bypassed
+    :func:`merge_entries`.  CI's smoke step calls this after the bench
+    modules write, so a malformed document fails the build instead of
+    silently poisoning the README table renderer.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        return [f"unreadable: {exc}"]
+    except ValueError as exc:
+        return [f"not JSON: {exc}"]
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    problems: list[str] = []
+    if doc.get("schema") != SCHEMA_VERSION:
+        problems.append(
+            f"schema must be {SCHEMA_VERSION}, got {doc.get('schema')!r}"
+        )
+    entries = doc.get("entries")
+    if not isinstance(entries, list):
+        problems.append("'entries' must be a list")
+        return problems
+    unknown = set(doc) - {"schema", "entries"}
+    if unknown:
+        problems.append(f"unknown document keys {sorted(unknown)}")
+    seen: dict[tuple, int] = {}
+    for i, entry in enumerate(entries):
+        entry_problems = validate_entry(entry, where=f"entries[{i}]")
+        problems.extend(entry_problems)
+        if not entry_problems:
+            key = entry_key(entry)
+            if key in seen:
+                problems.append(
+                    f"entries[{i}]: duplicate key {key} "
+                    f"(first at entries[{seen[key]}])"
+                )
+            else:
+                seen[key] = i
+    return problems
 
 
 def write_bench_json(path: str, entries: Iterable[dict]) -> list[dict]:

@@ -38,7 +38,16 @@ from array import array
 from typing import NamedTuple, Optional
 
 from repro.parallel.shm import SegmentRef, attach_view, release_attachments
-from repro.paths.csr import CSRTraversal, make_evaluator
+from repro.paths.csr import (
+    CSRTraversal,
+    make_batch_evaluator,
+    make_evaluator,
+)
+
+try:  # pragma: no cover - scalar fallback exercised via monkeypatching
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 __all__ = [
     "GreedySpec",
@@ -57,13 +66,17 @@ class GreedySpec(NamedTuple):
     ``pool`` names the candidate-scope segment; the objective (scalars
     only for the bundled ones) pickles inline.  ``key`` keys the
     worker-side state cache, as in :class:`~repro.parallel.worker.
-    RefineSpec`.
+    RefineSpec`.  ``batch`` is the gain-batch lane count workers use
+    inside each chunk — a worker-side execution knob only, since the
+    batched kernel is bitwise equal to the scalar one; it participates
+    in ``key`` so a cached state is never reused at the wrong width.
     """
 
     epoch: int
     key: tuple
     objective: object
     pool: SegmentRef
+    batch: int = 1
 
 
 def pool_context():
@@ -78,27 +91,47 @@ def pool_context():
     )
 
 
-def build_greedy_payload(graph, objective, pool) -> tuple:
-    """The snapshot shipped to every worker: CSR rows + pool + objective.
+def build_greedy_payload(graph, objective, pool, batch: int = 1) -> tuple:
+    """The snapshot shipped to every worker: CSR rows + pool + objective
+    (+ the gain-batch lane count).
 
     CSR-backed graphs already hold ``int32`` ndarrays (which pickle as
     compactly as anything); only the list path's ``array('q')`` indices
-    are narrowed to ``'i'`` for the wire.
+    are narrowed to ``'i'`` for the wire.  ``batch == 1`` ships the
+    legacy 4-tuple, so older payload producers and consumers interoperate.
     """
     indptr, indices = graph.to_csr()
     if isinstance(indices, array):
         indices = array("i", indices)
-    return (indptr, indices, array("q", pool), objective)
+    if batch == 1:
+        return (indptr, indices, array("q", pool), objective)
+    return (indptr, indices, array("q", pool), objective, batch)
+
+
+def _batch_state(trav, objective, batch):
+    """``(batch_evaluate, current_nd)`` for a worker, or ``(None, None)``
+    when batching is off or the batch plane is unavailable."""
+    if batch <= 1:
+        return None, None
+    batch_evaluate = make_batch_evaluator(trav, objective)
+    if batch_evaluate is None:
+        return None, None
+    return batch_evaluate, _np.full(trav.n, -1, dtype=_np.int32)
 
 
 def build_greedy_state(payload: tuple) -> tuple:
-    """Rebuild the traversal workspace and bound evaluator from a payload."""
-    indptr, indices, pool, objective = payload
+    """Rebuild the traversal workspace and bound evaluators from a payload."""
+    if len(payload) == 5:
+        indptr, indices, pool, objective, batch = payload
+    else:
+        indptr, indices, pool, objective = payload
+        batch = 1
     trav = CSRTraversal(indptr, indices)
     evaluate = make_evaluator(trav, objective)
     # Round 0 only: the group is empty, every distance is infinity.
     current = [-1] * trav.n
-    return (pool, evaluate, current)
+    batch_evaluate, current_nd = _batch_state(trav, objective, batch)
+    return (pool, evaluate, current, batch, batch_evaluate, current_nd)
 
 
 #: Worker-process state, populated by :func:`init_greedy_worker`
@@ -135,7 +168,7 @@ def init_greedy_worker(payload: tuple) -> None:
 
 
 def _greedy_call_state(spec: GreedySpec) -> tuple:
-    """The ``(pool, evaluate, current)`` triple for ``spec``, cached."""
+    """The worker state tuple for ``spec``, cached by spec key."""
     global _TRAV, _CALL
     cached = _CALL
     if cached is not None and cached["key"] == spec.key:
@@ -151,7 +184,9 @@ def _greedy_call_state(spec: GreedySpec) -> tuple:
     trav, current = _TRAV
     pool = attach_view(spec.pool)
     evaluate = make_evaluator(trav, spec.objective)
-    state = (pool, evaluate, current)
+    batch = getattr(spec, "batch", 1)
+    batch_evaluate, current_nd = _batch_state(trav, spec.objective, batch)
+    state = (pool, evaluate, current, batch, batch_evaluate, current_nd)
     _CALL = {"key": spec.key, "state": state, "names": {spec.pool.name}}
     if cached is not None:
         stale = cached["names"] - _CALL["names"]
@@ -174,10 +209,20 @@ def run_gain_chunk(task: tuple, state: Optional[tuple] = None) -> array:
         spec, lo, hi = task
         if state is None:
             state = _greedy_call_state(spec)
-    pool, evaluate, current = state
-    return array(
-        "d", [evaluate(u, current, False)[0] for u in pool[lo:hi]]
-    )
+    pool, evaluate, current, batch, batch_evaluate, current_nd = state
+    seg = pool[lo:hi]
+    if batch_evaluate is not None and hi - lo > 1:
+        # Batched lanes: bitwise equal to the scalar loop below (see
+        # repro.paths.csr), so chunking × batching never shows in the
+        # gains.
+        out = array("d")
+        for i in range(0, len(seg), batch):
+            lane = seg[i : i + batch]
+            out.extend(
+                g for g, _none in batch_evaluate(lane, current_nd, False)
+            )
+        return out
+    return array("d", [evaluate(u, current, False)[0] for u in seg])
 
 
 def validate_gain_chunk(task: tuple, result) -> bool:

@@ -40,9 +40,28 @@ in the same order with the same arithmetic — closeness accumulates
 integer farness drops (exact in either representation), harmonic adds
 ``1.0/new - old_term`` as one fused expression exactly as
 :class:`~repro.centrality.group_harmonic_max.HarmonicObjective` does.
-The pruned gain scans stay scalar for exactly that reason: their
-emission order *is* the contract, and only the full-BFS kernels (whose
-outputs are order-free) vectorize.
+
+**Batched gain plane.**  The pruned gain scan *also* vectorizes, despite
+its emission-order contract: :meth:`CSRTraversal._batch_scan` runs one
+vectorized pruned BFS per source lane, all lanes sharing one ``n``-cell
+distance scratch (cleaned per lane), and reconstructs each lane's scalar
+emission order exactly.  The trick is the same first-occurrence gather
+:mod:`repro.core.block_refine` proved out: within one level the ragged
+``np.repeat`` row gather visits parents in frontier order and neighbors
+in row order — precisely the scalar FIFO discovery order — so deduping
+same-level rediscoveries by *first occurrence* (a linear reversed
+scatter-claim, not a sort) leaves every lane's per-level emission
+sequence identical to its scalar ``_scan``.  Levels concatenate
+level-major, which is FIFO order, so the batched evaluators can replay
+the scalar float accumulation term by term: closeness sums integer
+drops per lane (order-free, exact via one ``np.bincount``), harmonic
+computes all ``1.0/new - old_term`` terms vectorized (elementwise IEEE
+arithmetic equals CPython's) and then adds them sequentially in
+emission order, and the generic kernel feeds ``gain_weight`` the same
+``(old, new)`` stream the scalar loop would.  The result:
+``batch_*_eval(sources, ...)`` returns the *bitwise same*
+``(gain, updates)`` pairs as ``B`` scalar ``*_eval`` calls, one numpy
+pass per frontier level instead of one Python loop iteration per edge.
 """
 
 from __future__ import annotations
@@ -50,6 +69,7 @@ from __future__ import annotations
 from array import array
 from typing import Callable, Iterable, Optional, Sequence
 
+from repro.errors import ParameterError
 from repro.graph.adjacency import Graph
 
 try:  # pragma: no cover - scalar fallback exercised via monkeypatching
@@ -57,7 +77,35 @@ try:  # pragma: no cover - scalar fallback exercised via monkeypatching
 except ImportError:  # pragma: no cover
     _np = None
 
-__all__ = ["CSRTraversal", "make_evaluator"]
+__all__ = [
+    "CSRTraversal",
+    "choose_gain_batch",
+    "make_batch_evaluator",
+    "make_evaluator",
+    "resolve_gain_batch",
+    "validate_gain_batch",
+]
+
+#: ``auto`` batching never engages below this vertex count: the scalar
+#: kernels' per-call overhead is already negligible there, and batch=1
+#: keeps the legacy code path (and its test coverage) exact.
+GAIN_BATCH_MIN_VERTICES = 256
+
+#: Soft budget on ``B * n`` emission cells per auto-sized kernel call
+#: (the per-call concatenated emission arrays are the only allocation
+#: that scales with ``B``).  ``auto`` lane counts are ``budget // n``
+#: capped at :data:`GAIN_BATCH_MAX_LANES`.
+GAIN_BATCH_CELL_BUDGET = 1 << 23
+
+#: Auto-sizing lane cap; in the CELF drain ``B`` is also the
+#: speculation width, and past ~64 lanes the extra speculative scans
+#: rarely pay for themselves.
+GAIN_BATCH_MAX_LANES = 64
+
+#: Hard cap on ``B * n`` cells for *explicit* batch requests: an
+#: oversized ``--gain-batch`` is clamped, never allowed to materialize
+#: arbitrarily large per-call emission arrays.
+GAIN_BATCH_CELL_CAP = 1 << 24
 
 #: memoryview/array format codes mapped to numpy dtypes for zero-copy
 #: ndarray views over attached shared-memory buffers.
@@ -104,6 +152,11 @@ class CSRTraversal:
         "_rows",
         "_nd_indptr",
         "_nd_indices",
+        "_nd_indptr64",
+        "_nd_dist",
+        "_batch_block",
+        "_batch_claim",
+        "_claim_tick",
         "_new_dist",
         "_queue",
     )
@@ -128,6 +181,14 @@ class CSRTraversal:
         # Zero-copy ndarray views for the vectorized full-BFS kernels.
         self._nd_indptr = _ndarray_view(indptr)
         self._nd_indices = _ndarray_view(indices)
+        # Lazily allocated vector scratch, reused across calls: the
+        # widened indptr, the full-BFS distance array, and the flat
+        # (B, n) distance block of the batched gain kernel.
+        self._nd_indptr64 = None
+        self._nd_dist = None
+        self._batch_block = None
+        self._batch_claim = None
+        self._claim_tick = 1
         self._new_dist = [-2] * n
         self._queue = [0] * n
 
@@ -135,6 +196,12 @@ class CSRTraversal:
     def from_graph(cls, graph: Graph) -> "CSRTraversal":
         indptr, indices = graph.to_csr()
         return cls(indptr, indices)
+
+    @property
+    def supports_batch(self) -> bool:
+        """Whether the batched gain plane is available (numpy + ndarray
+        views over the CSR buffers)."""
+        return _np is not None and self._nd_indptr is not None
 
     def _row(self, u: int) -> list:
         row = self._rows[u]
@@ -159,33 +226,53 @@ class CSRTraversal:
             return self._frontier_distances(sources)
         return self._scalar_distances(sources)
 
+    def _indptr64(self):
+        """``indptr`` as int64, widened once and cached (row math needs
+        int64 to survive ``lane * n`` key arithmetic and large cumsums)."""
+        cached = self._nd_indptr64
+        if cached is None:
+            nd = self._nd_indptr
+            cached = nd if nd.dtype == _np.int64 else nd.astype(_np.int64)
+            self._nd_indptr64 = cached
+        return cached
+
+    def _dist_scratch(self):
+        """The reusable full-BFS distance array, reset to all ``-1``."""
+        dist = self._nd_dist
+        if dist is None:
+            dist = _np.empty(self.n, dtype=_np.int64)
+            self._nd_dist = dist
+        dist.fill(-1)
+        return dist
+
     def _frontier_distances(self, sources: Iterable[int]) -> list[int]:
         """Vectorized level-synchronous BFS over the ndarray views.
 
         Per level: gather every frontier row with one fancy-index
         expansion, keep the unvisited targets, stamp their level.
         Distances are order-independent, so this equals the scalar FIFO
-        kernel exactly.
+        kernel exactly.  The distance array and the widened ``indptr``
+        are preallocated scratch reused across calls — the greedy round
+        loops call this thousands of times, and the O(n) allocation per
+        call used to dominate small-frontier queries.
         """
-        indptr = self._nd_indptr
+        indptr = self._indptr64()
         indices = self._nd_indices
-        dist = _np.full(self.n, -1, dtype=_np.int64)
+        dist = self._dist_scratch()
         frontier = _np.unique(_np.fromiter(sources, dtype=_np.int64))
         if frontier.size == 0:
             return dist.tolist()
         dist[frontier] = 0
         level = 0
         while frontier.size:
-            starts = indptr[frontier].astype(_np.int64)
-            counts = indptr[frontier + 1].astype(_np.int64) - starts
+            starts = indptr[frontier]
+            counts = indptr[frontier + 1] - starts
             total = int(counts.sum())
             if total == 0:
                 break
-            cum = _np.concatenate(
-                (_np.zeros(1, dtype=_np.int64), _np.cumsum(counts))
-            )
+            cum = _np.cumsum(counts)
             slots = (
-                _np.repeat(starts - cum[:-1], counts)
+                _np.repeat(starts - (cum - counts), counts)
                 + _np.arange(total, dtype=_np.int64)
             )
             targets = indices[slots]
@@ -387,6 +474,293 @@ class CSRTraversal:
                 gain += weight(current[v], new)
         return gain, updates
 
+    # ------------------------------------------------------------------
+    # Batched gain plane: B pruned-BFS lanes per numpy pass
+    # ------------------------------------------------------------------
+    def _scan_block(self):
+        """The per-lane distance scratch: ``n`` int32 cells, all ``-2``.
+
+        Callers must restore every touched cell to ``-2`` before moving
+        to the next lane (:meth:`_batch_scan` does) — the all-clean
+        invariant is what makes reuse O(touched) instead of O(n) per
+        lane.  One lane's working set is ~``4n`` bytes, small enough to
+        stay cache-resident; this is why the scan loops lanes in Python
+        instead of keying a flat ``(B, n)`` block by ``lane*n + vertex``
+        (measured: the wide block's gather/scatter working set grows
+        with ``B`` past cache and loses to the *scalar* loop at
+        million-edge scale).
+        """
+        block = self._batch_block
+        if block is None:
+            block = _np.full(max(1, self.n), -2, dtype=_np.int32)
+            self._batch_block = block
+        return block
+
+    def _scan_claim(self):
+        """The ``n``-cell claim scratch of the first-occurrence dedupe
+        (see :meth:`_batch_scan`).
+
+        Never cleaned: entries carry a monotone per-scatter tick, so a
+        stale value from an earlier lane, level or call can never
+        collide with the current pass's positions.
+        """
+        claim = self._batch_claim
+        if claim is None:
+            claim = _np.zeros(max(1, self.n), dtype=_np.int64)
+            self._batch_claim = claim
+        return claim
+
+    def _as_current(self, current):
+        """``current`` as an int32 ndarray (no copy when it already is).
+
+        int32 halves the gather bandwidth of the hot admission test;
+        distances are bounded by ``n``, which the cell caps keep far
+        below the int32 range.
+        """
+        return _np.asarray(current, dtype=_np.int32)
+
+    def _batch_scan(self, sources, current):
+        """Run one vectorized pruned BFS per source lane.
+
+        Returns ``(lanes, verts, news)`` integer emission arrays,
+        concatenated lane-major.  The subsequence of entries belonging
+        to lane ``b`` lists exactly the vertices lane ``b``'s scalar
+        :meth:`_scan` would emit, in the same order: levels concatenate
+        level-major (FIFO order), and within a level the masked ragged
+        ``np.repeat`` row gather visits (parent in frontier order) ×
+        (neighbor in row order) — the scalar discovery order — with
+        same-level rediscoveries removed by keeping each vertex's
+        *first* occurrence.  Lanes are mutually unordered in the scalar
+        semantics (each is an independent traversal), so looping them in
+        Python costs nothing in fidelity and keeps every gather/scatter
+        inside one lane's ``n``-cell scratch — cache-resident, where a
+        flat ``(B, n)`` block keyed by ``lane*n + vertex`` measured
+        slower than the scalar loop at million-edge scale.
+
+        The dedupe is linear, not a sort: every admitted occurrence
+        scatters its stream position into the claim scratch *in
+        reversed order* (so the first occurrence lands last and wins
+        numpy's last-write-wins fancy assignment), then a gather keeps
+        exactly the occurrences whose position made it in.  The claim
+        values ride a monotone tick, so the scratch never needs
+        cleaning.  ``np.unique`` here would re-sort the whole frontier
+        expansion every level — O(T log T) on up to ``m`` keys — and
+        measured 3x slower than the scalar loop at the million-edge
+        scale this plane exists for.
+
+        ``current`` must be an int32 ndarray (``_as_current``).  Lanes
+        whose source is already in the committed set (``current`` 0 or
+        negative-but-reached) emit nothing, matching the scalar
+        short-circuit.
+        """
+        indptr = self._indptr64()
+        indices = self._nd_indices
+        block = self._scan_block()
+        claim = self._scan_claim()
+        # Round 0 (no committed distances: `current` all -1) admits on
+        # the visited test alone, skipping the per-candidate gather.
+        prune = bool((current != -1).any())
+        emit_lanes = []
+        emit_verts = []
+        emit_news = []
+        for b, s in enumerate(sources):
+            s = int(s)
+            c = int(current[s])
+            if not (c == -1 or c > 0):
+                continue
+            f = _np.array([s], dtype=_np.int64)
+            block[s] = 0
+            lane_verts = [f]
+            lane_news = [_np.zeros(1, dtype=_np.int32)]
+            level = 0
+            while f.size:
+                level += 1
+                starts = indptr[f]
+                counts = indptr[f + 1] - starts
+                if not int(counts.sum()):
+                    break
+                cum = _np.cumsum(counts)
+                slots = _np.repeat(starts - (cum - counts), counts)
+                slots += _np.arange(slots.size, dtype=_np.int64)
+                # One explicit widening beats the intp cast every fancy
+                # index below would otherwise redo.
+                targets = indices[slots].astype(_np.int64, copy=False)
+                # Scalar admission test: not yet seen by this lane, and
+                # strictly closer than the committed-set distance.
+                mask = block[targets] == -2
+                if prune:
+                    cur = current[targets]
+                    mask &= (cur == -1) | (cur > level)
+                if not mask.any():
+                    break
+                targets = targets[mask]
+                # Linear first-occurrence dedupe (see docstring).
+                tick = self._claim_tick
+                pos = _np.arange(
+                    tick, tick + targets.size, dtype=_np.int64
+                )
+                self._claim_tick = tick + targets.size
+                claim[targets[::-1]] = pos[::-1]
+                f = targets[claim[targets] == pos]
+                block[f] = level
+                lane_verts.append(f)
+                lane_news.append(_np.full(f.size, level, dtype=_np.int32))
+            verts = _np.concatenate(lane_verts)
+            # Restore the all-clean invariant before the next lane.
+            block[verts] = -2
+            emit_lanes.append(_np.full(verts.size, b, dtype=_np.int32))
+            emit_verts.append(verts)
+            emit_news.append(_np.concatenate(lane_news))
+        if not emit_lanes:
+            return (
+                _np.empty(0, dtype=_np.int32),
+                _np.empty(0, dtype=_np.int64),
+                _np.empty(0, dtype=_np.int32),
+            )
+        return (
+            _np.concatenate(emit_lanes),
+            _np.concatenate(emit_verts),
+            _np.concatenate(emit_news),
+        )
+
+    def _lane_order(self, lanes, num_lanes: int):
+        """Stable per-lane grouping of the emission arrays.
+
+        Returns ``(order, bounds)``: ``order`` permutes the emission
+        arrays lane-major (stable, so per-lane emission order is
+        preserved) and lane ``b`` occupies ``order[bounds[b]:bounds[b+1]]``.
+        """
+        order = _np.argsort(lanes, kind="stable")
+        counts = _np.bincount(lanes, minlength=num_lanes)
+        bounds = _np.zeros(num_lanes + 1, dtype=_np.int64)
+        _np.cumsum(counts, out=bounds[1:])
+        return order, bounds
+
+    def batch_improvements(self, sources, current) -> list[list[tuple]]:
+        """Per-lane materialized ``(v, old, new)`` streams.
+
+        ``batch_improvements([s1, .., sB], cur)[b]`` equals
+        ``improvements(s_b, cur)`` element for element — the
+        differential contract the batch plane is tested against.
+        """
+        sources = list(sources)
+        if not sources:
+            return []
+        current = self._as_current(current)
+        lanes, verts, news = self._batch_scan(sources, current)
+        olds = current[verts]
+        order, bounds = self._lane_order(lanes, len(sources))
+        sv = verts[order].tolist()
+        so = olds[order].tolist()
+        sn = news[order].tolist()
+        out = []
+        for b in range(len(sources)):
+            lo, hi = int(bounds[b]), int(bounds[b + 1])
+            out.append(
+                [(sv[i], so[i], sn[i]) for i in range(lo, hi)]
+            )
+        return out
+
+    def batch_closeness_eval(
+        self, sources, current, penalty: int, collect: bool = True
+    ) -> list[tuple[float, Optional[list[tuple[int, int]]]]]:
+        """``closeness_eval`` for B sources in one vectorized pass.
+
+        Farness drops are integers, and integer-valued float sums are
+        exact in any order (every partial sum stays an integer far below
+        2**53), so one weighted ``np.bincount`` per lane equals the
+        scalar emission-order accumulation bit for bit.
+        """
+        sources = list(sources)
+        if not sources:
+            return []
+        current = self._as_current(current)
+        lanes, verts, news = self._batch_scan(sources, current)
+        olds = current[verts]
+        contrib = _np.where(olds == -1, penalty, olds) - news
+        totals = _np.bincount(
+            lanes, weights=contrib, minlength=len(sources)
+        )
+        if not collect:
+            return [(float(t), None) for t in totals]
+        order, bounds = self._lane_order(lanes, len(sources))
+        sv = verts[order].tolist()
+        sn = news[order].tolist()
+        out = []
+        for b in range(len(sources)):
+            lo, hi = int(bounds[b]), int(bounds[b + 1])
+            out.append(
+                (float(totals[b]), list(zip(sv[lo:hi], sn[lo:hi])))
+            )
+        return out
+
+    def batch_harmonic_eval(
+        self, sources, current, collect: bool = True
+    ) -> list[tuple[float, Optional[list[tuple[int, int]]]]]:
+        """``harmonic_eval`` for B sources in one vectorized pass.
+
+        The per-term arithmetic (``1.0/new - old_term``) is elementwise,
+        so numpy float64 reproduces CPython bit for bit; only the *sum*
+        is order-sensitive, and it runs sequentially per lane over the
+        emission-ordered term list — exactly the scalar ``gain += term``
+        chain, starting from the same ``0.0``.
+        """
+        sources = list(sources)
+        if not sources:
+            return []
+        current = self._as_current(current)
+        lanes, verts, news = self._batch_scan(sources, current)
+        olds = current[verts]
+        inv_old = _np.zeros(olds.size, dtype=_np.float64)
+        _np.divide(1.0, olds, out=inv_old, where=(olds != -1))
+        inv_new = _np.zeros(news.size, dtype=_np.float64)
+        _np.divide(1.0, news, out=inv_new, where=(news > 0))
+        terms = inv_new - inv_old
+        order, bounds = self._lane_order(lanes, len(sources))
+        st = terms[order].tolist()
+        if collect:
+            sv = verts[order].tolist()
+            sn = news[order].tolist()
+        out = []
+        for b in range(len(sources)):
+            lo, hi = int(bounds[b]), int(bounds[b + 1])
+            gain = sum(st[lo:hi], 0.0)
+            updates = list(zip(sv[lo:hi], sn[lo:hi])) if collect else None
+            out.append((gain, updates))
+        return out
+
+    def batch_generic_eval(
+        self,
+        sources,
+        current,
+        weight: Callable[[int, int], float],
+        collect: bool = True,
+    ) -> list[tuple[float, Optional[list[tuple[int, int]]]]]:
+        """``generic_eval`` for B sources: one batched traversal, then
+        the scalar per-term ``gain_weight`` chain per lane (the weight
+        is arbitrary Python, so only the BFS vectorizes)."""
+        sources = list(sources)
+        if not sources:
+            return []
+        current = self._as_current(current)
+        lanes, verts, news = self._batch_scan(sources, current)
+        olds = current[verts]
+        order, bounds = self._lane_order(lanes, len(sources))
+        sv = verts[order].tolist()
+        so = olds[order].tolist()
+        sn = news[order].tolist()
+        out = []
+        for b in range(len(sources)):
+            lo, hi = int(bounds[b]), int(bounds[b + 1])
+            gain = 0.0
+            updates = [] if collect else None
+            for i in range(lo, hi):
+                gain += weight(so[i], sn[i])
+                if collect:
+                    updates.append((sv[i], sn[i]))
+            out.append((gain, updates))
+        return out
+
 
 def make_evaluator(trav: CSRTraversal, objective):
     """Bind ``objective`` to its fastest CSR kernel.
@@ -416,3 +790,98 @@ def make_evaluator(trav: CSRTraversal, objective):
         return generic_eval(source, current, weight, collect)
 
     return evaluate
+
+
+def make_batch_evaluator(trav: CSRTraversal, objective):
+    """Bind ``objective`` to its batched CSR kernel, mirroring
+    :func:`make_evaluator`.
+
+    Returns ``batch_evaluate(sources, current, collect) ->
+    [(gain, updates), ...]`` (one pair per source lane, bitwise equal to
+    the scalar evaluator's output), or ``None`` when the batch plane is
+    unavailable (no numpy, or buffers without ndarray views) — callers
+    fall back to the scalar evaluator.
+    """
+    if not trav.supports_batch:
+        return None
+    kernel = getattr(objective, "csr_kernel", None)
+    if kernel == "closeness":
+        penalty = objective.penalty
+        batch_closeness = trav.batch_closeness_eval
+
+        def batch_evaluate(sources, current, collect=True):
+            return batch_closeness(sources, current, penalty, collect)
+
+        return batch_evaluate
+    if kernel == "harmonic":
+        return trav.batch_harmonic_eval
+    weight = objective.gain_weight
+    batch_generic = trav.batch_generic_eval
+
+    def batch_evaluate(sources, current, collect=True):
+        return batch_generic(sources, current, weight, collect)
+
+    return batch_evaluate
+
+
+def choose_gain_batch(num_vertices: int, pool_size: int) -> int:
+    """Auto-size the gain-batch lane count from n and the candidate pool.
+
+    Small graphs and single-candidate pools stay scalar (batch 1); past
+    :data:`GAIN_BATCH_MIN_VERTICES` the lane count is the cell budget
+    divided by n, capped at :data:`GAIN_BATCH_MAX_LANES` and the pool
+    size.  The heuristic mirrors ``choose_refine_kernel``: cheap,
+    deterministic, and conservative at the boundaries.
+    """
+    if (
+        _np is None
+        or num_vertices < GAIN_BATCH_MIN_VERTICES
+        or pool_size <= 1
+    ):
+        return 1
+    lanes = min(
+        GAIN_BATCH_MAX_LANES,
+        GAIN_BATCH_CELL_BUDGET // max(num_vertices, 1),
+        pool_size,
+    )
+    return max(1, int(lanes))
+
+
+def validate_gain_batch(gain_batch) -> None:
+    """Boundary validation for a ``gain_batch`` parameter.
+
+    Accepts ``"auto"`` or a positive int; anything else raises
+    :class:`~repro.errors.ParameterError` before any graph work starts.
+    """
+    if gain_batch == "auto":
+        return
+    if (
+        isinstance(gain_batch, bool)
+        or not isinstance(gain_batch, int)
+        or gain_batch < 1
+    ):
+        raise ParameterError(
+            f"gain_batch must be 'auto' or a positive int, got "
+            f"{gain_batch!r}"
+        )
+
+
+def resolve_gain_batch(
+    gain_batch, num_vertices: int, pool_size: int
+) -> int:
+    """The effective lane count for a greedy run.
+
+    ``"auto"`` defers to :func:`choose_gain_batch`; explicit requests
+    are honoured but clamped to the :data:`GAIN_BATCH_CELL_CAP` memory
+    guard.  Without numpy every request resolves to 1 (the scalar
+    kernels are the only plane) — batching is a pure execution detail,
+    so silent degradation is correct, exactly like the bloom fallback
+    of the bitset refine kernel.
+    """
+    validate_gain_batch(gain_batch)
+    if _np is None:
+        return 1
+    if gain_batch == "auto":
+        return choose_gain_batch(num_vertices, pool_size)
+    cap = max(1, GAIN_BATCH_CELL_CAP // max(num_vertices, 1))
+    return max(1, min(int(gain_batch), cap))

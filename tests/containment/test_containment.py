@@ -48,13 +48,13 @@ class TestInvertedIndex:
     def test_postings_sorted(self):
         rs = RecordSet([[1, 2], [2], [1, 2, 3]])
         idx = InvertedIndex(rs)
-        assert idx.postings(2) == [0, 1, 2]
-        assert idx.postings(1) == [0, 2]
-        assert idx.postings(3) == [2]
+        assert list(idx.postings(2)) == [0, 1, 2]
+        assert list(idx.postings(1)) == [0, 2]
+        assert list(idx.postings(3)) == [2]
 
     def test_missing_element_empty(self):
         idx = InvertedIndex(RecordSet([[1]]))
-        assert idx.postings(99) == []
+        assert list(idx.postings(99)) == []
         assert idx.posting_length(99) == 0
 
     def test_memory_entries_equals_total_elements(self):
@@ -72,6 +72,13 @@ class TestIntersectSorted:
     def test_asymmetric_sizes(self):
         big = list(range(0, 1000, 2))
         assert _intersect_sorted([10, 11, 500], big) == [10, 500]
+
+    def test_ndarray_vector_path_matches_scalar(self):
+        np = pytest.importorskip("numpy")
+        a = np.arange(0, 200, 3, dtype=np.int32)
+        b = np.arange(0, 200, 5, dtype=np.int32)
+        expected = _intersect_sorted(list(a), list(b))
+        assert list(_intersect_sorted(a, b)) == expected
 
     def test_empty_input(self):
         assert _intersect_sorted([], [1, 2]) == []

@@ -9,6 +9,8 @@ from repro.harness.benchjson import (
     entry_key,
     load_bench_json,
     merge_entries,
+    validate_entry,
+    validate_file,
     write_bench_json,
 )
 
@@ -90,3 +92,96 @@ def test_load_missing_or_alien_documents(tmp_path):
         [bench_entry(bench="b", instance="i", algorithm="a", wall_s=1.0)],
     )
     assert len(load_bench_json(str(alien))) == 1
+
+
+class TestValidateEntry:
+    def test_full_entry_valid(self):
+        e = bench_entry(
+            bench="b",
+            instance="i",
+            algorithm="a",
+            wall_s=1.5,
+            refine_s=0.5,
+            counters={"pair_tests": 3},
+            extra={"speedup": 2.0},
+        )
+        assert validate_entry(e) == []
+
+    def test_missing_required_key(self):
+        e = {"bench": "b", "instance": "i", "wall_s": 1.0}
+        assert any("algorithm" in p for p in validate_entry(e))
+
+    def test_bad_wall_time(self):
+        base = {"bench": "b", "instance": "i", "algorithm": "a"}
+        for bad in (-1.0, "fast", None, True, float("nan")):
+            assert validate_entry({**base, "wall_s": bad})
+
+    def test_unknown_keys_rejected(self):
+        e = bench_entry(bench="b", instance="i", algorithm="a", wall_s=1.0)
+        e["speedup"] = 2.0
+        assert any("unknown keys" in p for p in validate_entry(e))
+
+    def test_non_dict(self):
+        assert validate_entry([1, 2]) == ["entry: not an object"]
+
+
+class TestValidateFile:
+    def write(self, tmp_path, doc):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_written_document_validates(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        write_bench_json(
+            path,
+            [
+                bench_entry(
+                    bench="b", instance="i", algorithm="a", wall_s=1.0
+                ),
+                bench_entry(
+                    bench="b",
+                    instance="i",
+                    algorithm="z",
+                    wall_s=2.0,
+                    extra={"speedup_vs_scalar": 3.0},
+                ),
+            ],
+        )
+        assert validate_file(path) == []
+
+    def test_missing_file(self, tmp_path):
+        problems = validate_file(str(tmp_path / "absent.json"))
+        assert problems and "unreadable" in problems[0]
+
+    def test_garbage_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{ not json")
+        problems = validate_file(str(path))
+        assert problems and "not JSON" in problems[0]
+
+    def test_wrong_schema_version(self, tmp_path):
+        path = self.write(tmp_path, {"schema": 99, "entries": []})
+        assert any("schema" in p for p in validate_file(path))
+
+    def test_entries_must_be_list(self, tmp_path):
+        path = self.write(tmp_path, {"schema": SCHEMA_VERSION,
+                                     "entries": {}})
+        assert any("'entries'" in p for p in validate_file(path))
+
+    def test_duplicate_keys_flagged(self, tmp_path):
+        e = bench_entry(bench="b", instance="i", algorithm="a", wall_s=1.0)
+        path = self.write(
+            tmp_path, {"schema": SCHEMA_VERSION, "entries": [e, dict(e)]}
+        )
+        assert any("duplicate key" in p for p in validate_file(path))
+
+    def test_bad_entry_located_by_index(self, tmp_path):
+        good = bench_entry(
+            bench="b", instance="i", algorithm="a", wall_s=1.0
+        )
+        path = self.write(
+            tmp_path,
+            {"schema": SCHEMA_VERSION, "entries": [good, {"bench": 3}]},
+        )
+        assert any(p.startswith("entries[1]") for p in validate_file(path))
